@@ -1,0 +1,95 @@
+//! Criterion benchmarks for the enumeration engines themselves: the
+//! per-community delay of `COMM-all` (PDall vs BUall vs TDall) and the
+//! total time of `COMM-k` (PDk vs BUk vs TDk), at quick scale — one
+//! Criterion group per figure of the paper's evaluation.
+
+use comm_bench::{Prepared, Scale};
+use comm_core::{bu_all, bu_topk, td_all, td_topk, CommAll, CommK};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_comm_all_delay(c: &mut Criterion) {
+    let p = Prepared::imdb(Scale::Quick);
+    let (kwf, l, rmax, _) = p.grid.defaults;
+    let pq = p.project(kwf, l, rmax);
+    let g = pq.projected.graph.clone();
+    let spec = pq.spec;
+    let cap = 60usize;
+    let mut group = c.benchmark_group("comm_all_first60");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("PDall", "imdb-default"), |b| {
+        b.iter(|| {
+            let mut it = CommAll::new(&g, &spec);
+            let mut n = 0;
+            while n < cap && it.next().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    group.bench_function(BenchmarkId::new("BUall", "imdb-default"), |b| {
+        b.iter(|| black_box(bu_all(&g, &spec, Some(cap)).communities.len()))
+    });
+    group.bench_function(BenchmarkId::new("TDall", "imdb-default"), |b| {
+        b.iter(|| black_box(td_all(&g, &spec, Some(cap)).communities.len()))
+    });
+    group.finish();
+}
+
+fn bench_comm_k_total(c: &mut Criterion) {
+    let p = Prepared::imdb(Scale::Quick);
+    let (kwf, l, rmax, _) = p.grid.defaults;
+    let pq = p.project(kwf, l, rmax);
+    let g = pq.projected.graph.clone();
+    let spec = pq.spec;
+    let k = 30usize;
+    let mut group = c.benchmark_group("comm_k_top30");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("PDk", "imdb-default"), |b| {
+        b.iter(|| black_box(CommK::new(&g, &spec).take(k).count()))
+    });
+    group.bench_function(BenchmarkId::new("BUk", "imdb-default"), |b| {
+        b.iter(|| black_box(bu_topk(&g, &spec, k, None).communities.len()))
+    });
+    group.bench_function(BenchmarkId::new("TDk", "imdb-default"), |b| {
+        b.iter(|| black_box(td_topk(&g, &spec, k, None).communities.len()))
+    });
+    group.finish();
+}
+
+fn bench_interactive_resume(c: &mut Criterion) {
+    // Fig. 12's primitive: the marginal cost of "+10 more" after top-40.
+    let p = Prepared::imdb(Scale::Quick);
+    let (kwf, l, rmax, _) = p.grid.defaults;
+    let pq = p.project(kwf, l, rmax);
+    let g = pq.projected.graph.clone();
+    let spec = pq.spec;
+    let mut group = c.benchmark_group("interactive_next10");
+    group.sample_size(10);
+    group.bench_function("PDk_resume", |b| {
+        b.iter_batched(
+            || {
+                let mut it = CommK::new(&g, &spec);
+                let mut n = 0;
+                while n < 40 && it.next().is_some() {
+                    n += 1;
+                }
+                it
+            },
+            |mut it| black_box(it.by_ref().take(10).count()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("BUk_recompute", |b| {
+        b.iter(|| black_box(bu_topk(&g, &spec, 50, None).communities.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_comm_all_delay,
+    bench_comm_k_total,
+    bench_interactive_resume
+);
+criterion_main!(benches);

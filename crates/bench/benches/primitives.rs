@@ -1,0 +1,159 @@
+//! Criterion micro-benchmarks for the algorithmic primitives: the
+//! Dijkstra engine, `Neighbor()`, `BestCore()`, `GetCommunity()`, the
+//! Fibonacci heap, and graph projection.
+
+use comm_bench::{Prepared, Scale};
+use comm_core::{get_community, NeighborSets, QuerySpec};
+use comm_datasets::workload::query_keywords;
+use comm_fibheap::FibHeap;
+use comm_graph::{DijkstraEngine, Direction, FibDijkstraEngine, NodeId, Weight};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_fibheap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fibheap");
+    g.bench_function("push_pop_10k", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let mut h = FibHeap::with_capacity(10_000);
+                for i in 0..10_000u64 {
+                    h.push((i * 2_654_435_761) % 65_536, i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, v)) = h.pop_min() {
+                    sum = sum.wrapping_add(v);
+                }
+                black_box(sum)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("decrease_key_5k", |b| {
+        b.iter_batched(
+            || {
+                let mut h = FibHeap::with_capacity(5_000);
+                let handles: Vec<_> = (0..5_000u64)
+                    .map(|i| h.push(1_000_000 + i, i))
+                    .collect();
+                (h, handles)
+            },
+            |(mut h, handles)| {
+                for (i, r) in handles.into_iter().enumerate() {
+                    h.decrease_key(r, i as u64).unwrap();
+                }
+                black_box(h.pop_min())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn setup_cell() -> (comm_graph::Graph, QuerySpec, Vec<Vec<NodeId>>) {
+    let p = Prepared::imdb(Scale::Quick);
+    let (kwf, l, rmax, _) = p.grid.defaults;
+    let pq = p.project(kwf, l, rmax);
+    let sets = pq.spec.keyword_nodes.clone();
+    (pq.projected.graph, pq.spec, sets)
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let (g, spec, sets) = setup_cell();
+    let mut group = c.benchmark_group("dijkstra");
+    group.bench_function("multi_source_truncated", |b| {
+        let mut engine = DijkstraEngine::new(g.node_count());
+        b.iter(|| {
+            let mut touched = 0usize;
+            engine.run(
+                &g,
+                Direction::Reverse,
+                sets[0].iter().copied(),
+                spec.rmax,
+                |_| touched += 1,
+            );
+            black_box(touched)
+        })
+    });
+    group.bench_function("single_source_full", |b| {
+        let mut engine = DijkstraEngine::new(g.node_count());
+        b.iter(|| black_box(engine.distances(&g, Direction::Forward, NodeId(0))))
+    });
+    // The heap ablation: binary heap w/ lazy deletion vs Fibonacci heap w/
+    // decrease-key, identical semantics (verified by property tests).
+    group.bench_function("binary_heap_multi_source", |b| {
+        let mut engine = DijkstraEngine::new(g.node_count());
+        b.iter(|| {
+            let mut n = 0usize;
+            engine.run(&g, Direction::Reverse, sets[0].iter().copied(), spec.rmax, |_| n += 1);
+            black_box(n)
+        })
+    });
+    group.bench_function("fib_heap_multi_source", |b| {
+        let mut engine = FibDijkstraEngine::new(g.node_count());
+        b.iter(|| {
+            let mut n = 0usize;
+            engine.run(&g, Direction::Reverse, sets[0].iter().copied(), spec.rmax, |_| n += 1);
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+fn bench_neighbor_bestcore(c: &mut Criterion) {
+    let (g, spec, sets) = setup_cell();
+    let l = spec.l();
+    let mut group = c.benchmark_group("neighbor");
+    group.bench_function("recompute_dim", |b| {
+        let mut engine = DijkstraEngine::new(g.node_count());
+        let mut ns = NeighborSets::new(l, g.node_count());
+        for (i, s) in sets.iter().enumerate() {
+            ns.recompute_dim(&g, &mut engine, i, s.iter().copied(), spec.rmax);
+        }
+        b.iter(|| {
+            ns.recompute_dim(&g, &mut engine, 0, sets[0].iter().copied(), spec.rmax);
+        })
+    });
+    group.bench_function("best_core_scan", |b| {
+        let mut engine = DijkstraEngine::new(g.node_count());
+        let mut ns = NeighborSets::new(l, g.node_count());
+        for (i, s) in sets.iter().enumerate() {
+            ns.recompute_dim(&g, &mut engine, i, s.iter().copied(), spec.rmax);
+        }
+        b.iter(|| black_box(ns.best_core()))
+    });
+    group.finish();
+}
+
+fn bench_get_community(c: &mut Criterion) {
+    let (g, spec, _) = setup_cell();
+    let core = comm_core::CommK::new(&g, &spec)
+        .next()
+        .expect("default cell has communities")
+        .core;
+    c.bench_function("get_community", |b| {
+        let mut engine = DijkstraEngine::new(g.node_count());
+        b.iter(|| black_box(get_community(&g, &mut engine, &core, spec.rmax)))
+    });
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let p = Prepared::imdb(Scale::Quick);
+    let (kwf, l, rmax, _) = p.grid.defaults;
+    let kws = query_keywords(p.groups, kwf, l);
+    let mut group = c.benchmark_group("projection");
+    group.bench_function("project_default_query", |b| {
+        b.iter(|| black_box(p.index.project(&kws, Weight::new(rmax))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fibheap,
+    bench_dijkstra,
+    bench_neighbor_bestcore,
+    bench_get_community,
+    bench_projection
+);
+criterion_main!(benches);

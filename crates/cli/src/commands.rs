@@ -1,0 +1,244 @@
+//! Command parsing for the interactive explorer.
+
+use std::fmt;
+
+/// One parsed REPL command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `load <dblp|imdb> [scale]` — generate a dataset.
+    Load {
+        /// Dataset name (`dblp` or `imdb`).
+        dataset: String,
+        /// Optional scale factor (default 1.0).
+        scale: f64,
+    },
+    /// `query <kw> [kw ...] [rmax=X] [k=N] [cost=sum|max]` — run a query.
+    Query {
+        /// The keywords.
+        keywords: Vec<String>,
+        /// Optional radius override.
+        rmax: Option<f64>,
+        /// How many communities to show.
+        k: usize,
+        /// `true` for the max-distance cost function.
+        max_cost: bool,
+    },
+    /// `more [N]` — continue the current enumeration.
+    More(usize),
+    /// `trees [N]` — show tree answers for the current query.
+    Trees(usize),
+    /// `dot <rank> [path]` — export community #rank as GraphViz DOT.
+    Dot {
+        /// 1-based rank in the current query's enumeration.
+        rank: usize,
+        /// Output path (stdout if `None`).
+        path: Option<String>,
+    },
+    /// `stats` — dataset statistics.
+    Stats,
+    /// `help`.
+    Help,
+    /// `quit` / `exit`.
+    Quit,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Parses one REPL line.
+pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let Some((&head, rest)) = tokens.split_first() else {
+        return Ok(None);
+    };
+    match head {
+        "load" => {
+            let dataset = rest
+                .first()
+                .ok_or_else(|| ParseError("usage: load <dblp|imdb> [scale]".into()))?;
+            if !matches!(*dataset, "dblp" | "imdb") {
+                return Err(ParseError(format!("unknown dataset {dataset:?}")));
+            }
+            let scale = match rest.get(1) {
+                None => 1.0,
+                Some(s) => s
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|s| *s > 0.0 && *s <= 100.0)
+                    .ok_or_else(|| ParseError(format!("bad scale {s:?} (0 < scale ≤ 100)")))?,
+            };
+            Ok(Some(Command::Load {
+                dataset: (*dataset).to_owned(),
+                scale,
+            }))
+        }
+        "query" | "q" => {
+            let mut keywords = Vec::new();
+            let mut rmax = None;
+            let mut k = 5usize;
+            let mut max_cost = false;
+            for &tok in rest {
+                if let Some(v) = tok.strip_prefix("rmax=") {
+                    rmax = Some(v.parse::<f64>().map_err(|_| {
+                        ParseError(format!("bad rmax {v:?}"))
+                    })?);
+                } else if let Some(v) = tok.strip_prefix("k=") {
+                    k = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&k| k > 0)
+                        .ok_or_else(|| ParseError(format!("bad k {v:?}")))?;
+                } else if let Some(v) = tok.strip_prefix("cost=") {
+                    max_cost = match v {
+                        "sum" => false,
+                        "max" => true,
+                        other => return Err(ParseError(format!("bad cost {other:?}"))),
+                    };
+                } else {
+                    keywords.push(tok.to_lowercase());
+                }
+            }
+            if keywords.is_empty() {
+                return Err(ParseError(
+                    "usage: query <kw> [kw ...] [rmax=X] [k=N] [cost=sum|max]".into(),
+                ));
+            }
+            Ok(Some(Command::Query {
+                keywords,
+                rmax,
+                k,
+                max_cost,
+            }))
+        }
+        "more" | "m" => {
+            let n = match rest.first() {
+                None => 5,
+                Some(v) => v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| ParseError(format!("bad count {v:?}")))?,
+            };
+            Ok(Some(Command::More(n)))
+        }
+        "trees" | "t" => {
+            let n = match rest.first() {
+                None => 5,
+                Some(v) => v
+                    .parse::<usize>()
+                    .map_err(|_| ParseError(format!("bad count {v:?}")))?,
+            };
+            Ok(Some(Command::Trees(n)))
+        }
+        "dot" => {
+            let rank = rest
+                .first()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&r| r > 0)
+                .ok_or_else(|| ParseError("usage: dot <rank> [file.dot]".into()))?;
+            Ok(Some(Command::Dot {
+                rank,
+                path: rest.get(1).map(|s| (*s).to_owned()),
+            }))
+        }
+        "stats" => Ok(Some(Command::Stats)),
+        "help" | "?" => Ok(Some(Command::Help)),
+        "quit" | "exit" => Ok(Some(Command::Quit)),
+        other => Err(ParseError(format!(
+            "unknown command {other:?} — try 'help'"
+        ))),
+    }
+}
+
+/// Help text for the REPL.
+pub const HELP: &str = "\
+commands:
+  load <dblp|imdb> [scale]   generate a synthetic dataset (scale ≤ 100)
+  query <kw> [kw ...] [rmax=X] [k=N] [cost=sum|max]
+                             search for the top-k communities
+  more [N]                   stream the next N communities of the ranking
+  trees [N]                  show the top-N connected-tree answers instead
+  dot <rank> [file]          export community #rank as GraphViz DOT
+  stats                      dataset statistics
+  help                       this text
+  quit                       leave";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_load() {
+        assert_eq!(
+            parse("load dblp").unwrap(),
+            Some(Command::Load {
+                dataset: "dblp".into(),
+                scale: 1.0
+            })
+        );
+        assert_eq!(
+            parse("load imdb 0.5").unwrap(),
+            Some(Command::Load {
+                dataset: "imdb".into(),
+                scale: 0.5
+            })
+        );
+        assert!(parse("load nope").is_err());
+        assert!(parse("load dblp -3").is_err());
+        assert!(parse("load").is_err());
+    }
+
+    #[test]
+    fn parses_query_with_options() {
+        let cmd = parse("query Star DEATH rmax=10.5 k=7 cost=max").unwrap().unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query {
+                keywords: vec!["star".into(), "death".into()],
+                rmax: Some(10.5),
+                k: 7,
+                max_cost: true,
+            }
+        );
+        assert!(parse("query rmax=5").is_err(), "no keywords");
+        assert!(parse("query a k=0").is_err());
+        assert!(parse("query a cost=median").is_err());
+    }
+
+    #[test]
+    fn parses_dot() {
+        assert_eq!(
+            parse("dot 3 out.dot").unwrap(),
+            Some(Command::Dot {
+                rank: 3,
+                path: Some("out.dot".into())
+            })
+        );
+        assert_eq!(
+            parse("dot 1").unwrap(),
+            Some(Command::Dot { rank: 1, path: None })
+        );
+        assert!(parse("dot").is_err());
+        assert!(parse("dot zero").is_err());
+        assert!(parse("dot 0").is_err());
+    }
+
+    #[test]
+    fn parses_more_trees_and_misc() {
+        assert_eq!(parse("more").unwrap(), Some(Command::More(5)));
+        assert_eq!(parse("m 20").unwrap(), Some(Command::More(20)));
+        assert_eq!(parse("trees 3").unwrap(), Some(Command::Trees(3)));
+        assert_eq!(parse("stats").unwrap(), Some(Command::Stats));
+        assert_eq!(parse("help").unwrap(), Some(Command::Help));
+        assert_eq!(parse("quit").unwrap(), Some(Command::Quit));
+        assert_eq!(parse("   ").unwrap(), None);
+        assert!(parse("frobnicate").is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! `comm-explore` — interactive explorer for keyword community search.
+//!
+//! ```bash
+//! cargo run --release -p comm-cli --bin comm-explore
+//! communities> load dblp 0.5
+//! communities> query database optimization k=3
+//! communities> more 5
+//! communities> trees 5
+//! ```
+//!
+//! Commands can also be piped on stdin for scripted use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod commands;
+mod session;
+
+use commands::{parse, Command, HELP};
+use session::Session;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut session = Session::new();
+    let stdin = std::io::stdin();
+    let interactive = atty_stdin();
+    if interactive {
+        println!("keyword community search explorer — 'help' for commands");
+    }
+    let mut line = String::new();
+    loop {
+        if interactive {
+            print!("communities> ");
+            std::io::stdout().flush().ok();
+        }
+        line.clear();
+        let Ok(n) = stdin.lock().read_line(&mut line) else {
+            break;
+        };
+        if n == 0 {
+            break; // EOF
+        }
+        match parse(&line) {
+            Ok(None) => {}
+            Ok(Some(cmd)) => match run(&mut session, cmd) {
+                Flow::Continue(output) => {
+                    if !output.is_empty() {
+                        println!("{output}");
+                    }
+                }
+                Flow::Quit => break,
+            },
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+enum Flow {
+    Continue(String),
+    Quit,
+}
+
+fn run(session: &mut Session, cmd: Command) -> Flow {
+    let result = match cmd {
+        Command::Load { dataset, scale } => Ok(session.load(&dataset, scale)),
+        Command::Query {
+            keywords,
+            rmax,
+            k,
+            max_cost,
+        } => session.query(&keywords, rmax, k, max_cost),
+        Command::More(n) => session.more(n),
+        Command::Trees(n) => session.trees(n),
+        Command::Dot { rank, path } => session.dot(rank, path.as_deref()),
+        Command::Stats => session.stats(),
+        Command::Help => Ok(HELP.to_owned()),
+        Command::Quit => return Flow::Quit,
+    };
+    Flow::Continue(match result {
+        Ok(s) => s,
+        Err(e) => format!("error: {e}"),
+    })
+}
+
+/// Crude interactivity check without extra dependencies: piped stdin on
+/// Linux is not a tty; we only use this to decide whether to print prompts.
+fn atty_stdin() -> bool {
+    std::fs::metadata("/proc/self/fd/0")
+        .map(|m| {
+            use std::os::unix::fs::FileTypeExt;
+            !m.file_type().is_fifo() && !m.file_type().is_file()
+        })
+        .unwrap_or(false)
+}

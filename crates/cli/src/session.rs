@@ -1,0 +1,312 @@
+//! REPL session state: the loaded dataset and the active query.
+//!
+//! The session owns the generated dataset and the current query's
+//! projected graph. `more` continues the (deterministic) ranked
+//! enumeration past the session's high-water mark; because enumeration on
+//! a projected graph is milliseconds, the session re-enumerates the
+//! prefix rather than holding a borrowing iterator across commands.
+
+use comm_core::trees::topk_trees;
+use comm_core::{CommK, CostFn, ProjectionIndex, QuerySpec};
+use comm_datasets::stats::dataset_stats;
+use comm_datasets::{generate_dblp, generate_imdb, DblpConfig, GeneratedDataset, ImdbConfig};
+use comm_graph::{NodeId, Weight};
+use comm_rdb::ColumnId;
+use std::fmt::Write as _;
+
+/// A loaded dataset plus the state of the current query.
+pub struct Session {
+    dataset: Option<GeneratedDataset>,
+    default_rmax: f64,
+    /// The current query's projected graph and spec (owned).
+    current: Option<ActiveQuery>,
+}
+
+struct ActiveQuery {
+    keywords: Vec<String>,
+    graph: comm_graph::Graph,
+    original_ids: Vec<NodeId>,
+    spec: QuerySpec,
+    emitted: usize,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// An empty session.
+    pub fn new() -> Session {
+        Session {
+            dataset: None,
+            default_rmax: 6.0,
+            current: None,
+        }
+    }
+
+    /// Loads (generates) a dataset. Returns a status line.
+    pub fn load(&mut self, which: &str, scale: f64) -> String {
+        let (ds, rmax) = match which {
+            "imdb" => (generate_imdb(&ImdbConfig::default().scaled(scale)), 11.0),
+            _ => (generate_dblp(&DblpConfig::default().scaled(scale)), 6.0),
+        };
+        let line = format!(
+            "loaded {}: {} tuples, graph {} nodes / {} edges (default rmax {})",
+            ds.name,
+            ds.db.tuple_count(),
+            ds.graph.graph.node_count(),
+            ds.graph.graph.edge_count(),
+            rmax
+        );
+        self.dataset = Some(ds);
+        self.default_rmax = rmax;
+        self.current = None;
+        line
+    }
+
+    /// Runs a fresh query, printing the first `k` communities.
+    pub fn query(
+        &mut self,
+        keywords: &[String],
+        rmax: Option<f64>,
+        k: usize,
+        max_cost: bool,
+    ) -> Result<String, String> {
+        let ds = self.dataset.as_ref().ok_or("no dataset — try 'load dblp'")?;
+        let rmax = rmax.unwrap_or(self.default_rmax);
+        for kw in keywords {
+            if ds.graph.keyword_nodes(kw).is_empty() {
+                return Err(format!(
+                    "keyword {kw:?} matches nothing (benchmark keywords: see Tables III/V, e.g. 'database', 'star')"
+                ));
+            }
+        }
+        // Project the query subgraph (Sec. VI).
+        let entries: Vec<(&str, &[NodeId])> = keywords
+            .iter()
+            .map(|kw| (kw.as_str(), ds.graph.keyword_nodes(kw)))
+            .collect();
+        let index = ProjectionIndex::build(&ds.graph.graph, entries, Weight::new(rmax));
+        let refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
+        let pq = index
+            .project(&refs, Weight::new(rmax))
+            .ok_or("projection failed")?;
+        let mut spec = QuerySpec::new(pq.spec.keyword_nodes.clone(), pq.spec.rmax);
+        if max_cost {
+            spec = spec.with_cost(CostFn::MaxDistance);
+        }
+        self.current = Some(ActiveQuery {
+            keywords: keywords.to_vec(),
+            graph: pq.projected.graph.clone(),
+            original_ids: pq.projected.original_ids.clone(),
+            spec,
+            emitted: 0,
+        });
+        let mut out = format!(
+            "projected graph: {} nodes ({:.3}% of G_D)\n",
+            pq.projected.graph.node_count(),
+            100.0 * index.projection_ratio(&pq)
+        );
+        out.push_str(&self.more(k)?);
+        Ok(out)
+    }
+
+    /// Streams `n` more communities of the active query.
+    pub fn more(&mut self, n: usize) -> Result<String, String> {
+        let ds = self.dataset.as_ref().ok_or("no dataset loaded")?;
+        let q = self.current.as_mut().ok_or("no active query")?;
+        // CommK is resumable but borrows the graph; to keep the session
+        // simple we re-enumerate up to the high-water mark (communities are
+        // deterministic), which is still fast on projected graphs.
+        let mut it = CommK::new(&q.graph, &q.spec);
+        let mut skipped = 0;
+        while skipped < q.emitted && it.next().is_some() {
+            skipped += 1;
+        }
+        let mut out = String::new();
+        let mut got = 0;
+        for c in it.by_ref().take(n) {
+            got += 1;
+            q.emitted += 1;
+            let _ = writeln!(
+                out,
+                "#{} cost {:.2} — {} centers, {} nodes",
+                q.emitted,
+                c.cost.get(),
+                c.centers.len(),
+                c.node_count()
+            );
+            for (kw, &local) in q.keywords.iter().zip(&c.core.0) {
+                let orig = q.original_ids[local.index()];
+                let _ = writeln!(out, "    {kw}: {}", describe_static(ds, orig));
+            }
+        }
+        if got == 0 {
+            out.push_str("(enumeration exhausted — no more communities)\n");
+        }
+        Ok(out)
+    }
+
+    /// Shows the top-n connected-tree answers for the active query.
+    pub fn trees(&self, n: usize) -> Result<String, String> {
+        let ds = self.dataset.as_ref().ok_or("no dataset loaded")?;
+        let q = self.current.as_ref().ok_or("no active query")?;
+        let trees = topk_trees(&q.graph, &q.spec, n);
+        let mut out = format!("top-{} connected trees (prior-art result shape):\n", trees.len());
+        for (i, t) in trees.iter().enumerate() {
+            let root = q.original_ids[t.root.index()];
+            let _ = writeln!(
+                out,
+                "T{} weight {:.2}, root {} — {} edges",
+                i + 1,
+                t.weight.get(),
+                describe_static(ds, root),
+                t.edges.len()
+            );
+        }
+        Ok(out)
+    }
+
+    /// Exports community #`rank` (1-based, in ranking order) of the
+    /// active query as GraphViz DOT; writes to `path` or returns the text.
+    pub fn dot(&self, rank: usize, path: Option<&str>) -> Result<String, String> {
+        let ds = self.dataset.as_ref().ok_or("no dataset loaded")?;
+        let q = self.current.as_ref().ok_or("no active query")?;
+        let community = CommK::new(&q.graph, &q.spec)
+            .nth(rank - 1)
+            .ok_or_else(|| format!("the query has fewer than {rank} communities"))?;
+        let dot = comm_core::dot::community_to_dot(&community, |local| {
+            describe_static(ds, q.original_ids[local.index()])
+        });
+        match path {
+            Some(p) => {
+                std::fs::write(p, &dot).map_err(|e| format!("cannot write {p}: {e}"))?;
+                Ok(format!("wrote community #{rank} to {p} ({} bytes)", dot.len()))
+            }
+            None => Ok(dot),
+        }
+    }
+
+    /// Dataset statistics.
+    pub fn stats(&self) -> Result<String, String> {
+        let ds = self.dataset.as_ref().ok_or("no dataset loaded")?;
+        let s = dataset_stats(ds, &[]);
+        Ok(format!(
+            "{}: {} tuples, {} edges, density {:.2}, max degree {}, top-1% degree share {:.1}%",
+            s.name,
+            s.tuples,
+            s.edges,
+            s.density,
+            s.degrees.max,
+            100.0 * s.degrees.top1_share
+        ))
+    }
+
+    /// Whether a dataset is loaded (used by the unit tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn has_dataset(&self) -> bool {
+        self.dataset.is_some()
+    }
+}
+
+fn describe_static(ds: &GeneratedDataset, node: NodeId) -> String {
+    let tref = ds.graph.tuple_of(node);
+    let table = ds.db.table(tref.table);
+    let name = &table.schema().name;
+    match name.as_str() {
+        "Author" | "Users" => format!("{name}({})", table.cell(tref.row, ColumnId(1))),
+        "Paper" | "Movies" => format!("{name}(\"{}\")", table.cell(tref.row, ColumnId(1))),
+        other => format!("{other}#{}", tref.row.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loaded() -> Session {
+        let mut s = Session::new();
+        s.load("dblp", 0.3);
+        s
+    }
+
+    #[test]
+    fn load_and_stats() {
+        let mut s = Session::new();
+        assert!(!s.has_dataset());
+        assert!(s.stats().is_err());
+        let line = s.load("imdb", 0.3);
+        assert!(line.contains("imdb"));
+        assert!(s.stats().unwrap().contains("density"));
+    }
+
+    #[test]
+    fn query_and_more_resume() {
+        let mut s = loaded();
+        let out = s
+            .query(&["database".into(), "support".into()], None, 3, false)
+            .unwrap();
+        assert!(out.contains("projected graph"));
+        assert!(out.contains("#1 cost"));
+        // more continues the numbering.
+        let more = s.more(2).unwrap();
+        assert!(more.contains("#4") || more.contains("exhausted"), "{more}");
+    }
+
+    #[test]
+    fn unknown_keyword_reported() {
+        let mut s = loaded();
+        let err = s
+            .query(&["zzzznope".into()], None, 3, false)
+            .unwrap_err();
+        assert!(err.contains("matches nothing"));
+    }
+
+    #[test]
+    fn trees_for_active_query() {
+        let mut s = loaded();
+        s.query(&["database".into(), "optimization".into()], None, 2, false)
+            .unwrap();
+        let out = s.trees(4).unwrap();
+        assert!(out.contains("connected trees"));
+    }
+
+    #[test]
+    fn dot_export_of_active_query() {
+        let mut s = loaded();
+        s.query(&["database".into(), "support".into()], None, 1, false)
+            .unwrap();
+        let dot = s.dot(1, None).unwrap();
+        assert!(dot.starts_with("digraph community {"));
+        assert!(dot.contains("Paper("));
+        assert!(s.dot(100_000, None).is_err());
+    }
+
+    #[test]
+    fn max_cost_query_runs() {
+        let mut s = loaded();
+        let out = s
+            .query(&["database".into(), "support".into()], Some(7.0), 2, true)
+            .unwrap();
+        assert!(out.contains("#1 cost"));
+    }
+
+    #[test]
+    fn query_without_dataset_fails() {
+        let mut s = Session::new();
+        assert!(s.query(&["x".into()], None, 1, false).is_err());
+        assert!(s.more(1).is_err());
+        assert!(s.trees(1).is_err());
+    }
+
+    #[test]
+    fn describe_resolves_tables() {
+        let s = loaded();
+        let ds = s.dataset.as_ref().unwrap();
+        let node = ds.graph.keyword_nodes("database")[0];
+        let d = describe_static(ds, node);
+        assert!(d.starts_with("Paper("), "{d}");
+    }
+}

@@ -1,0 +1,513 @@
+//! The expanding baselines of Sec. III: bottom-up (`BUall`/`BUk`) and
+//! top-down (`TDall`/`TDk`).
+//!
+//! Both are *incremental polynomial time* enumerators, not polynomial
+//! delay: to stay duplication-free they keep a pool of already-output
+//! cores and check every candidate against it, and for top-k they must
+//! collect (and rank) candidate cores before emitting — which is also why
+//! they cannot resume when the user enlarges `k` (Exp-3).
+//!
+//! * **Bottom-up** expands from every keyword node `v ∈ V_i` backwards
+//!   within `Rmax`; each reached node `u` accumulates `u.V_i`, the set of
+//!   keyword-`i` nodes it can reach. Every node with all `u.V_i` non-empty
+//!   is a center whose cross-product `u.V_1 × … × u.V_l` yields candidate
+//!   cores. The per-node sets are kept alive for the whole run — the
+//!   memory cost Fig. 9 highlights.
+//! * **Top-down** expands forward from every node `u ∈ V(G_D)` within
+//!   `Rmax`, collecting the keyword nodes it reaches; the per-center state
+//!   is transient (freed after `u` is processed), so it uses less memory
+//!   than bottom-up, at the same asymptotic time.
+
+use crate::get_community::get_community_with;
+use crate::types::{Community, Core, CostFn, QuerySpec};
+use comm_graph::{DijkstraEngine, Direction, Graph, NodeId, Weight};
+use std::collections::{HashMap, HashSet};
+
+/// Per-center reach lists: `sets[i]` holds the `(keyword_node, dist)`
+/// pairs of dimension `i` reachable within `Rmax`.
+type ReachSets = Vec<Vec<(NodeId, Weight)>>;
+
+/// Bookkeeping reported by a baseline run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BaselineStats {
+    /// Communities emitted.
+    pub communities: usize,
+    /// Candidate cores generated across all centers (before deduplication).
+    pub candidates: usize,
+    /// Candidates rejected by the duplication pool.
+    pub duplicates: usize,
+    /// Peak logical bytes of expansion state + pools + result buffers.
+    pub peak_bytes: usize,
+    /// Whether the run finished (false: hit its community limit or its
+    /// candidate budget).
+    pub completed: bool,
+}
+
+/// The result of a baseline run.
+pub struct BaselineRun {
+    /// The communities found (for the top-k variants, in rank order).
+    pub communities: Vec<Community>,
+    /// Run statistics.
+    pub stats: BaselineStats,
+}
+
+const PAIR_BYTES: usize = std::mem::size_of::<(NodeId, Weight)>();
+
+/// Enumerates the cross product of the per-dimension reach lists at one
+/// center, reporting each core with the center's total distance. The
+/// callback returns `false` to stop early (used by truncated benchmark
+/// runs); the function reports whether enumeration ran to completion.
+fn cross_product<F: FnMut(Core, Weight) -> bool>(
+    sets: &ReachSets,
+    cost_fn: CostFn,
+    mut emit: F,
+) -> bool {
+    let l = sets.len();
+    debug_assert!(sets.iter().all(|s| !s.is_empty()));
+    let mut idx = vec![0usize; l];
+    let mut dists = vec![Weight::ZERO; l];
+    'outer: loop {
+        let mut core = Vec::with_capacity(l);
+        for i in 0..l {
+            let (v, d) = sets[i][idx[i]];
+            core.push(v);
+            dists[i] = d;
+        }
+        if !emit(Core(core), cost_fn.combine(dists.iter().copied())) {
+            return false;
+        }
+        for i in (0..l).rev() {
+            idx[i] += 1;
+            if idx[i] < sets[i].len() {
+                continue 'outer;
+            }
+            idx[i] = 0;
+            if i == 0 {
+                break 'outer;
+            }
+        }
+    }
+    true
+}
+
+/// Runs the bottom-up expansion, building `u.V_i` for every node.
+/// Returns `(per_node_sets, bytes_held)`.
+fn bottom_up_expand(
+    graph: &Graph,
+    spec: &QuerySpec,
+    engine: &mut DijkstraEngine,
+) -> (Vec<ReachSets>, usize) {
+    let n = graph.node_count();
+    let l = spec.l();
+    let mut sets: Vec<ReachSets> = vec![vec![Vec::new(); l]; n];
+    let mut entries = 0usize;
+    for (i, v_i) in spec.keyword_nodes.iter().enumerate() {
+        for &v in v_i {
+            engine.run(graph, Direction::Reverse, [v], spec.rmax, |s| {
+                sets[s.node.index()][i].push((v, s.dist));
+                entries += 1;
+            });
+        }
+    }
+    (sets, entries * PAIR_BYTES)
+}
+
+/// `BUall`: bottom-up enumeration of all communities.
+///
+/// `limit` optionally caps the number of communities materialized (the
+/// expansion and candidate generation still run in full).
+pub fn bu_all(graph: &Graph, spec: &QuerySpec, limit: Option<usize>) -> BaselineRun {
+    let mut engine = DijkstraEngine::new(graph.node_count());
+    let mut stats = BaselineStats {
+        completed: true,
+        ..BaselineStats::default()
+    };
+    if spec.has_empty_keyword() {
+        return BaselineRun {
+            communities: Vec::new(),
+            stats,
+        };
+    }
+    let (sets, expansion_bytes) = bottom_up_expand(graph, spec, &mut engine);
+
+    let mut pool: HashSet<Core> = HashSet::new();
+    let mut communities = Vec::new();
+    let l = spec.l();
+    'centers: for per_center in &sets {
+        if (0..l).any(|i| per_center[i].is_empty()) {
+            continue;
+        }
+        let done = cross_product(per_center, spec.cost, |core, _| {
+            stats.candidates += 1;
+            if pool.insert(core.clone()) {
+                let c = get_community_with(graph, &mut engine, &core, spec.rmax, spec.cost)
+                    .expect("center u certifies the core");
+                communities.push(c);
+            } else {
+                stats.duplicates += 1;
+            }
+            limit.is_none_or(|cap| communities.len() < cap)
+        });
+        if !done {
+            stats.completed = false;
+            break 'centers;
+        }
+    }
+    stats.communities = communities.len();
+    stats.peak_bytes = expansion_bytes + pool.len() * (l * 4 + 32);
+    BaselineRun { communities, stats }
+}
+
+/// `BUk`: bottom-up top-k. Collects every candidate core with its minimum
+/// center cost, ranks, and materializes the top `k`. Cannot resume — a
+/// larger `k` requires a full re-run (Exp-3).
+///
+/// `candidate_budget` aborts the run (with `stats.completed = false` and no
+/// communities) once that many candidate cores have been generated; the
+/// benchmark harness uses it to keep combinatorially explosive cells from
+/// exhausting memory. `None` never aborts.
+pub fn bu_topk(
+    graph: &Graph,
+    spec: &QuerySpec,
+    k: usize,
+    candidate_budget: Option<usize>,
+) -> BaselineRun {
+    let mut engine = DijkstraEngine::new(graph.node_count());
+    let mut stats = BaselineStats {
+        completed: true,
+        ..BaselineStats::default()
+    };
+    if spec.has_empty_keyword() || k == 0 {
+        return BaselineRun {
+            communities: Vec::new(),
+            stats,
+        };
+    }
+    let (sets, expansion_bytes) = bottom_up_expand(graph, spec, &mut engine);
+
+    let l = spec.l();
+    let mut best_cost: HashMap<Core, Weight> = HashMap::new();
+    'centers: for per_center in &sets {
+        if (0..l).any(|i| per_center[i].is_empty()) {
+            continue;
+        }
+        let done = cross_product(per_center, spec.cost, |core, cost| {
+            stats.candidates += 1;
+            best_cost
+                .entry(core)
+                .and_modify(|c| {
+                    stats.duplicates += 1;
+                    if cost < *c {
+                        *c = cost;
+                    }
+                })
+                .or_insert(cost);
+            candidate_budget.is_none_or(|b| stats.candidates < b)
+        });
+        if !done {
+            stats.completed = false;
+            break 'centers;
+        }
+    }
+    stats.peak_bytes = expansion_bytes + best_cost.len() * (l * 4 + 8 + 32);
+    if !stats.completed {
+        // An aborted ranking would be wrong; report the abort instead.
+        return BaselineRun {
+            communities: Vec::new(),
+            stats,
+        };
+    }
+
+    let mut ranked: Vec<(Core, Weight)> = best_cost.into_iter().collect();
+    ranked.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    let communities: Vec<Community> = ranked
+        .into_iter()
+        .map(|(core, _)| {
+            get_community_with(graph, &mut engine, &core, spec.rmax, spec.cost)
+                .expect("core has a center")
+        })
+        .collect();
+    stats.communities = communities.len();
+    BaselineRun { communities, stats }
+}
+
+/// Per-center forward expansion used by the top-down variants: collects
+/// the keyword nodes reachable from `u` within `Rmax`, per dimension.
+/// Returns `None` (cheaply) if some dimension stays empty.
+fn top_down_reach(
+    graph: &Graph,
+    spec: &QuerySpec,
+    engine: &mut DijkstraEngine,
+    membership: &HashMap<NodeId, Vec<u8>>,
+    u: NodeId,
+) -> Option<ReachSets> {
+    let l = spec.l();
+    let mut sets: ReachSets = vec![Vec::new(); l];
+    engine.run(graph, Direction::Forward, [u], spec.rmax, |s| {
+        if let Some(dims) = membership.get(&s.node) {
+            for &i in dims {
+                sets[i as usize].push((s.node, s.dist));
+            }
+        }
+    });
+    sets.iter().all(|s| !s.is_empty()).then_some(sets)
+}
+
+fn keyword_membership(spec: &QuerySpec) -> HashMap<NodeId, Vec<u8>> {
+    let mut m: HashMap<NodeId, Vec<u8>> = HashMap::new();
+    for (i, v_i) in spec.keyword_nodes.iter().enumerate() {
+        for &v in v_i {
+            m.entry(v).or_default().push(i as u8);
+        }
+    }
+    m
+}
+
+/// `TDall`: top-down enumeration of all communities.
+pub fn td_all(graph: &Graph, spec: &QuerySpec, limit: Option<usize>) -> BaselineRun {
+    let mut engine = DijkstraEngine::new(graph.node_count());
+    let mut stats = BaselineStats {
+        completed: true,
+        ..BaselineStats::default()
+    };
+    if spec.has_empty_keyword() {
+        return BaselineRun {
+            communities: Vec::new(),
+            stats,
+        };
+    }
+    let membership = keyword_membership(spec);
+    let mut pool: HashSet<Core> = HashSet::new();
+    let mut communities = Vec::new();
+    let mut max_transient = 0usize;
+    let l = spec.l();
+    'centers: for u in graph.nodes() {
+        let Some(sets) = top_down_reach(graph, spec, &mut engine, &membership, u) else {
+            continue;
+        };
+        let transient: usize = sets.iter().map(|s| s.len() * PAIR_BYTES).sum();
+        max_transient = max_transient.max(transient);
+        let done = cross_product(&sets, spec.cost, |core, _| {
+            stats.candidates += 1;
+            if pool.insert(core.clone()) {
+                let c = get_community_with(graph, &mut engine, &core, spec.rmax, spec.cost)
+                    .expect("center u certifies the core");
+                communities.push(c);
+            } else {
+                stats.duplicates += 1;
+            }
+            limit.is_none_or(|cap| communities.len() < cap)
+        });
+        if !done {
+            stats.completed = false;
+            break 'centers;
+        }
+        // The per-center sets are dropped here — the memory advantage of
+        // top-down over bottom-up the paper points out for Fig. 9(b).
+    }
+    stats.communities = communities.len();
+    stats.peak_bytes = max_transient + pool.len() * (l * 4 + 32);
+    BaselineRun { communities, stats }
+}
+
+/// `TDk`: top-down top-k (rank at the end; no resume). See [`bu_topk`]
+/// for `candidate_budget`.
+pub fn td_topk(
+    graph: &Graph,
+    spec: &QuerySpec,
+    k: usize,
+    candidate_budget: Option<usize>,
+) -> BaselineRun {
+    let mut engine = DijkstraEngine::new(graph.node_count());
+    let mut stats = BaselineStats {
+        completed: true,
+        ..BaselineStats::default()
+    };
+    if spec.has_empty_keyword() || k == 0 {
+        return BaselineRun {
+            communities: Vec::new(),
+            stats,
+        };
+    }
+    let membership = keyword_membership(spec);
+    let mut best_cost: HashMap<Core, Weight> = HashMap::new();
+    let mut max_transient = 0usize;
+    let l = spec.l();
+    'centers: for u in graph.nodes() {
+        let Some(sets) = top_down_reach(graph, spec, &mut engine, &membership, u) else {
+            continue;
+        };
+        let transient: usize = sets.iter().map(|s| s.len() * PAIR_BYTES).sum();
+        max_transient = max_transient.max(transient);
+        let done = cross_product(&sets, spec.cost, |core, cost| {
+            stats.candidates += 1;
+            best_cost
+                .entry(core)
+                .and_modify(|c| {
+                    stats.duplicates += 1;
+                    if cost < *c {
+                        *c = cost;
+                    }
+                })
+                .or_insert(cost);
+            candidate_budget.is_none_or(|b| stats.candidates < b)
+        });
+        if !done {
+            stats.completed = false;
+            break 'centers;
+        }
+    }
+    stats.peak_bytes = max_transient + best_cost.len() * (l * 4 + 8 + 32);
+    if !stats.completed {
+        return BaselineRun {
+            communities: Vec::new(),
+            stats,
+        };
+    }
+
+    let mut ranked: Vec<(Core, Weight)> = best_cost.into_iter().collect();
+    ranked.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    let communities: Vec<Community> = ranked
+        .into_iter()
+        .map(|(core, _)| {
+            get_community_with(graph, &mut engine, &core, spec.rmax, spec.cost)
+                .expect("core has a center")
+        })
+        .collect();
+    stats.communities = communities.len();
+    BaselineRun { communities, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm_all;
+    use comm_datasets::paper_example::{fig4_graph, fig4_keyword_nodes, fig4_table1, FIG4_RMAX};
+    use std::collections::BTreeSet;
+
+    fn fig4_spec() -> QuerySpec {
+        QuerySpec::new(fig4_keyword_nodes(), Weight::new(FIG4_RMAX))
+    }
+
+    fn core_set(cs: &[Community]) -> BTreeSet<Core> {
+        cs.iter().map(|c| c.core.clone()).collect()
+    }
+
+    #[test]
+    fn bu_all_matches_pd_all() {
+        let g = fig4_graph();
+        let spec = fig4_spec();
+        let pd = comm_all(&g, &spec);
+        let bu = bu_all(&g, &spec, None);
+        assert_eq!(core_set(&pd), core_set(&bu.communities));
+        assert_eq!(bu.stats.communities, 5);
+        assert!(bu.stats.peak_bytes > 0);
+    }
+
+    #[test]
+    fn td_all_matches_pd_all() {
+        let g = fig4_graph();
+        let spec = fig4_spec();
+        let pd = comm_all(&g, &spec);
+        let td = td_all(&g, &spec, None);
+        assert_eq!(core_set(&pd), core_set(&td.communities));
+    }
+
+    #[test]
+    fn bu_duplicates_are_counted() {
+        // R3 and R5 have two centers each, so their cores are generated at
+        // least twice across centers → duplicates > 0.
+        let g = fig4_graph();
+        let run = bu_all(&g, &fig4_spec(), None);
+        assert!(run.stats.duplicates >= 2, "{:?}", run.stats);
+        assert_eq!(
+            run.stats.candidates,
+            run.stats.communities + run.stats.duplicates
+        );
+    }
+
+    #[test]
+    fn bu_topk_matches_table1_order() {
+        let g = fig4_graph();
+        let run = bu_topk(&g, &fig4_spec(), 3, None);
+        let expect: Vec<Vec<u32>> = fig4_table1()
+            .into_iter()
+            .take(3)
+            .map(|(_, core, _, _)| core.to_vec())
+            .collect();
+        let got: Vec<Vec<u32>> = run
+            .communities
+            .iter()
+            .map(|c| c.core.0.iter().map(|n| n.0).collect())
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn td_topk_matches_table1_order() {
+        let g = fig4_graph();
+        let run = td_topk(&g, &fig4_spec(), 5, None);
+        let costs: Vec<f64> = run.communities.iter().map(|c| c.cost.get()).collect();
+        assert_eq!(costs, vec![7.0, 10.0, 11.0, 14.0, 15.0]);
+    }
+
+    #[test]
+    fn limit_caps_materialization() {
+        let g = fig4_graph();
+        let run = bu_all(&g, &fig4_spec(), Some(2));
+        assert_eq!(run.communities.len(), 2);
+        // Early exit: enumeration stops once the cap is hit.
+        assert!(run.stats.candidates <= 5);
+        let td = td_all(&g, &fig4_spec(), Some(2));
+        assert_eq!(td.communities.len(), 2);
+    }
+
+    #[test]
+    fn empty_keyword_short_circuits() {
+        let g = fig4_graph();
+        let spec = QuerySpec::new(vec![vec![NodeId(4)], vec![]], Weight::new(8.0));
+        assert!(bu_all(&g, &spec, None).communities.is_empty());
+        assert!(td_all(&g, &spec, None).communities.is_empty());
+        assert!(bu_topk(&g, &spec, 3, None).communities.is_empty());
+        assert!(td_topk(&g, &spec, 3, None).communities.is_empty());
+    }
+
+    #[test]
+    fn k_zero_returns_nothing() {
+        let g = fig4_graph();
+        assert!(bu_topk(&g, &fig4_spec(), 0, None).communities.is_empty());
+        assert!(td_topk(&g, &fig4_spec(), 0, None).communities.is_empty());
+    }
+
+    #[test]
+    fn candidate_budget_aborts_cleanly() {
+        let g = fig4_graph();
+        let run = bu_topk(&g, &fig4_spec(), 5, Some(2));
+        assert!(!run.stats.completed);
+        assert!(run.communities.is_empty());
+        assert!(run.stats.candidates >= 2);
+        let run = td_topk(&g, &fig4_spec(), 5, Some(2));
+        assert!(!run.stats.completed);
+        // And a generous budget completes normally.
+        let ok = bu_topk(&g, &fig4_spec(), 5, Some(1_000_000));
+        assert!(ok.stats.completed);
+        assert_eq!(ok.communities.len(), 5);
+    }
+
+    #[test]
+    fn td_memory_leaner_than_bu_on_fig4() {
+        // The paper's Fig. 9(b) observation: BU keeps every node's keyword
+        // sets alive, TD frees them per center.
+        let g = fig4_graph();
+        let bu = bu_all(&g, &fig4_spec(), None);
+        let td = td_all(&g, &fig4_spec(), None);
+        assert!(
+            td.stats.peak_bytes <= bu.stats.peak_bytes,
+            "TD {} should not exceed BU {}",
+            td.stats.peak_bytes,
+            bu.stats.peak_bytes
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! `COMM-all` (Algorithm 1): polynomial-delay enumeration of *all*
+//! communities, complete and duplication-free.
+//!
+//! The enumerator is a depth-first Lawler-style traversal over the search
+//! space `V_1 × … × V_l`. The global candidate sets `S_i` (line 3 of
+//! Algorithm 1) encode the DFS state implicitly: when `Next()` fails to
+//! find a core in the subspace at dimension `i` it resets `S_i ← V_i`
+//! (line 19) and "pops" to dimension `i − 1`; when it succeeds the
+//! accumulated removals carry over to the next call.
+//!
+//! Per emitted community the work is `l` pinned `Neighbor()` calls, at most
+//! `2l` subspace `Neighbor()` calls, `l` `O(n)` `BestCore()` scans, and one
+//! `GetCommunity()` — `O(l · (n log n + m))`, the paper's Theorem IV.1 —
+//! using `O(l·n + m)` space.
+
+use crate::get_community::get_community_with;
+use crate::neighbor::NeighborSets;
+use crate::types::{Community, Core, CostFn, QuerySpec};
+use comm_graph::{DijkstraEngine, Graph, NodeId, Weight};
+use std::collections::BTreeSet;
+
+/// Polynomial-delay iterator over all communities of an l-keyword query.
+///
+/// ```
+/// use comm_core::{CommAll, QuerySpec};
+/// use comm_datasets::paper_example::{fig4_graph, fig4_keyword_nodes, FIG4_RMAX};
+/// use comm_graph::Weight;
+///
+/// let graph = fig4_graph();
+/// let spec = QuerySpec::new(fig4_keyword_nodes(), Weight::new(FIG4_RMAX));
+/// let all: Vec<_> = CommAll::new(&graph, &spec).collect();
+/// assert_eq!(all.len(), 5); // the paper's five communities (Fig. 5)
+/// ```
+pub struct CommAll<'g> {
+    graph: &'g Graph,
+    rmax: Weight,
+    cost_fn: CostFn,
+    l: usize,
+    /// `V_i`, immutable.
+    v_sets: Vec<Vec<NodeId>>,
+    /// `S_i`: the currently admissible subset of `V_i` (global DFS state).
+    s_sets: Vec<BTreeSet<NodeId>>,
+    ns: NeighborSets,
+    engine: DijkstraEngine,
+    /// The core to emit on the next `next()` call.
+    pending: Option<Core>,
+    emitted: usize,
+    peak_bytes: usize,
+    started: bool,
+}
+
+impl<'g> CommAll<'g> {
+    /// Prepares the enumeration (runs the initial `Neighbor()` sweeps and
+    /// finds the first best core lazily on first `next()`).
+    pub fn new(graph: &'g Graph, spec: &QuerySpec) -> CommAll<'g> {
+        let l = spec.l();
+        assert!(l > 0, "need at least one keyword");
+        CommAll {
+            graph,
+            rmax: spec.rmax,
+            cost_fn: spec.cost,
+            l,
+            v_sets: spec.keyword_nodes.clone(),
+            s_sets: spec
+                .keyword_nodes
+                .iter()
+                .map(|v| v.iter().copied().collect())
+                .collect(),
+            ns: NeighborSets::new(l, graph.node_count()),
+            engine: DijkstraEngine::new(graph.node_count()),
+            pending: None,
+            emitted: 0,
+            peak_bytes: 0,
+            started: false,
+        }
+    }
+
+    /// Number of communities emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Peak logical bytes held by algorithm-owned structures (the
+    /// `O(l·n)` neighbor table plus the `S_i` sets).
+    pub fn peak_memory_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Total `Neighbor()` sweeps run so far (the paper's per-answer cost
+    /// unit: `O(l)` sweeps per community for this algorithm).
+    pub fn neighbor_sweeps(&self) -> usize {
+        self.ns.sweeps()
+    }
+
+    fn track_memory(&mut self) {
+        let s_bytes: usize = self
+            .s_sets
+            .iter()
+            .map(|s| s.len() * std::mem::size_of::<NodeId>() * 2)
+            .sum();
+        let bytes = self.ns.byte_size() + s_bytes;
+        if bytes > self.peak_bytes {
+            self.peak_bytes = bytes;
+        }
+    }
+
+    fn recompute_from_s(&mut self, i: usize) {
+        let seeds: Vec<NodeId> = self.s_sets[i].iter().copied().collect();
+        self.ns
+            .recompute_dim(self.graph, &mut self.engine, i, seeds, self.rmax);
+    }
+
+    /// Lines 1–5 of Algorithm 1: initialize `S_i = V_i`, compute all
+    /// neighbor sets, and find the first best core.
+    fn start(&mut self) {
+        self.started = true;
+        for i in 0..self.l {
+            self.recompute_from_s(i);
+        }
+        self.pending = self.ns.best_core_with(self.cost_fn).map(|b| b.core);
+        self.track_memory();
+    }
+
+    /// The `Next()` procedure (lines 10–21).
+    fn next_core(&mut self, current: &Core) -> Option<Core> {
+        // Preparation: pin every dimension's neighbor set to the current
+        // core node (lines 11–12).
+        for i in 0..self.l {
+            self.ns.recompute_dim(
+                self.graph,
+                &mut self.engine,
+                i,
+                [current.get(i)],
+                self.rmax,
+            );
+        }
+        // Search: subdivide from the last dimension down (lines 13–20).
+        for i in (0..self.l).rev() {
+            self.s_sets[i].remove(&current.get(i));
+            self.recompute_from_s(i);
+            if let Some(best) = self.ns.best_core_with(self.cost_fn) {
+                self.track_memory();
+                return Some(best.core);
+            }
+            self.s_sets[i] = self.v_sets[i].iter().copied().collect();
+            self.recompute_from_s(i);
+        }
+        self.track_memory();
+        None
+    }
+}
+
+impl<'g> Iterator for CommAll<'g> {
+    type Item = Community;
+
+    fn next(&mut self) -> Option<Community> {
+        if !self.started {
+            self.start();
+        }
+        let core = self.pending.take()?;
+        let community =
+            get_community_with(self.graph, &mut self.engine, &core, self.rmax, self.cost_fn)
+                .expect("a core returned by BestCore always has a center");
+        self.pending = self.next_core(&core);
+        self.emitted += 1;
+        Some(community)
+    }
+}
+
+/// Convenience: all communities as a vector.
+pub fn comm_all(graph: &Graph, spec: &QuerySpec) -> Vec<Community> {
+    CommAll::new(graph, spec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comm_datasets::paper_example::{
+        fig1_graph, fig1_keyword_nodes, fig4_graph, fig4_keyword_nodes, fig4_table1, FIG4_RMAX,
+    };
+    use std::collections::BTreeSet as Set;
+
+    fn fig4_spec(rmax: f64) -> QuerySpec {
+        QuerySpec::new(fig4_keyword_nodes(), Weight::new(rmax))
+    }
+
+    #[test]
+    fn finds_exactly_the_five_paper_communities() {
+        let g = fig4_graph();
+        let all = comm_all(&g, &fig4_spec(FIG4_RMAX));
+        assert_eq!(all.len(), 5);
+        let got: Set<Vec<u32>> = all
+            .iter()
+            .map(|c| c.core.0.iter().map(|n| n.0).collect())
+            .collect();
+        let expect: Set<Vec<u32>> = fig4_table1()
+            .into_iter()
+            .map(|(_, core, _, _)| core.to_vec())
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn first_community_is_the_best_one() {
+        // Algorithm 1 finds the *best* core first (line 5), then walks DFS.
+        let g = fig4_graph();
+        let first = CommAll::new(&g, &fig4_spec(FIG4_RMAX)).next().unwrap();
+        assert_eq!(
+            first.core,
+            Core(vec![NodeId(4), NodeId(8), NodeId(6)])
+        );
+        assert_eq!(first.cost, Weight::new(7.0));
+    }
+
+    #[test]
+    fn costs_and_centers_match_table1() {
+        let g = fig4_graph();
+        let all = comm_all(&g, &fig4_spec(FIG4_RMAX));
+        for (_, core, cost, centers) in fig4_table1() {
+            let c = all
+                .iter()
+                .find(|c| c.core.0.iter().map(|n| n.0).collect::<Vec<_>>() == core)
+                .unwrap_or_else(|| panic!("missing core {core:?}"));
+            assert_eq!(c.cost, Weight::new(cost));
+            assert_eq!(c.centers.iter().map(|n| n.0).collect::<Vec<_>>(), centers);
+        }
+    }
+
+    #[test]
+    fn duplication_free() {
+        let g = fig4_graph();
+        let all = comm_all(&g, &fig4_spec(FIG4_RMAX));
+        let mut seen = Set::new();
+        for c in &all {
+            assert!(seen.insert(c.core.clone()), "duplicate core {:?}", c.core);
+        }
+    }
+
+    #[test]
+    fn larger_radius_finds_superset() {
+        let g = fig4_graph();
+        let small: Set<Core> = comm_all(&g, &fig4_spec(6.0))
+            .into_iter()
+            .map(|c| c.core)
+            .collect();
+        let large: Set<Core> = comm_all(&g, &fig4_spec(10.0))
+            .into_iter()
+            .map(|c| c.core)
+            .collect();
+        assert!(small.is_subset(&large));
+        assert!(small.len() < large.len() || small == large);
+    }
+
+    #[test]
+    fn empty_keyword_set_yields_nothing() {
+        let g = fig4_graph();
+        let spec = QuerySpec::new(
+            vec![vec![NodeId(4)], vec![]],
+            Weight::new(8.0),
+        );
+        assert_eq!(comm_all(&g, &spec).len(), 0);
+    }
+
+    #[test]
+    fn single_keyword_query() {
+        // l = 1: every keyword node is its own community core.
+        let g = fig4_graph();
+        let spec = QuerySpec::new(vec![vec![NodeId(4), NodeId(13)]], Weight::new(8.0));
+        let all = comm_all(&g, &spec);
+        let cores: Set<Vec<u32>> = all
+            .iter()
+            .map(|c| c.core.0.iter().map(|n| n.0).collect())
+            .collect();
+        assert_eq!(cores, Set::from([vec![4], vec![13]]));
+    }
+
+    #[test]
+    fn two_keyword_fig1_query() {
+        // Kate + Smith on Fig. 1 with radius 6: cores are
+        // [Kate, JohnSmith] and [Kate, JimSmith].
+        let g = fig1_graph();
+        let spec = QuerySpec::new(fig1_keyword_nodes(), Weight::new(6.0));
+        let all = comm_all(&g, &spec);
+        assert_eq!(all.len(), 2);
+        // The John Smith community is the multi-center one from Fig. 3:
+        // both papers are centers.
+        let john = all
+            .iter()
+            .find(|c| c.core.get(1) == NodeId(0))
+            .expect("john smith community");
+        assert!(john.centers.len() >= 2, "centers: {:?}", john.centers);
+    }
+
+    #[test]
+    fn emitted_counter_and_memory() {
+        let g = fig4_graph();
+        let mut it = CommAll::new(&g, &fig4_spec(FIG4_RMAX));
+        assert_eq!(it.emitted(), 0);
+        while it.next().is_some() {}
+        assert_eq!(it.emitted(), 5);
+        assert!(it.peak_memory_bytes() > 0);
+    }
+
+    #[test]
+    fn zero_radius_query() {
+        // Rmax = 0: a community needs a single node carrying all keywords.
+        let g = fig4_graph();
+        let spec = QuerySpec::new(
+            vec![vec![NodeId(4), NodeId(6)], vec![NodeId(6)]],
+            Weight::ZERO,
+        );
+        let all = comm_all(&g, &spec);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].core, Core(vec![NodeId(6), NodeId(6)]));
+        assert_eq!(all[0].cost, Weight::ZERO);
+    }
+}

@@ -1,0 +1,371 @@
+//! `COMM-k` (Algorithm 5): polynomial-delay enumeration of communities in
+//! non-decreasing cost order, with run-time-extendable `k`.
+//!
+//! The enumerator keeps a *can-list* of candidate tuples
+//! `(C, cost, pos, prev)` and a Fibonacci heap ordering the live candidates
+//! by cost. Each deheap emits one community and subdivides the deheaped
+//! tuple's subspace into at most `l − pos + 1` child subspaces whose best
+//! cores are enheaped (Lawler's procedure). Because candidates persist on
+//! the can-list, enlarging `k` at run time costs nothing: just keep calling
+//! [`CommK::next`].
+//!
+//! # Paper erratum
+//!
+//! Algorithm 5's lines 20–23 reconstruct the deheaped tuple's subspace by
+//! removing `h.C[h.pos]` for every chain ancestor `h`. Replaying the
+//! paper's own running example shows this re-emits core `[v13, v8, v9]`
+//! when expanding the tuple for `[v13, v8, v11]` (`pos = 3`, parent
+//! `pos = 1`): the value that must leave `S_3` is the *parent's*
+//! `C[3] = v9`, not the tuple's own `v11` (which line 25 removes anyway).
+//! We therefore remove `h.prev.C[h.pos]` per chain entry — the exact
+//! Lawler reconstruction — and the duplication-freeness property tests
+//! cross-check the result against the naive enumerator.
+
+use crate::get_community::get_community_with;
+use crate::neighbor::NeighborSets;
+use crate::types::{Community, Core, CostFn, QuerySpec};
+use comm_fibheap::FibHeap;
+use comm_graph::{DijkstraEngine, Graph, NodeId, Weight};
+use std::collections::BTreeSet;
+
+/// One entry of the can-list: the paper's can-tuple `(C, cost, pos, prev)`.
+#[derive(Clone, Debug)]
+struct CanTuple {
+    core: Core,
+    cost: Weight,
+    /// The subdivision dimension: this tuple's core agrees with its
+    /// parent's on every dimension `< pos` and differs at `pos`.
+    pos: usize,
+    /// Index of the parent can-tuple on the can-list.
+    prev: Option<u32>,
+}
+
+/// Ordered polynomial-delay enumerator with interactive `k`.
+///
+/// ```
+/// use comm_core::{CommK, QuerySpec};
+/// use comm_datasets::paper_example::{fig4_graph, fig4_keyword_nodes, FIG4_RMAX};
+/// use comm_graph::Weight;
+///
+/// let graph = fig4_graph();
+/// let spec = QuerySpec::new(fig4_keyword_nodes(), Weight::new(FIG4_RMAX));
+/// let mut topk = CommK::new(&graph, &spec);
+/// let top2: Vec<_> = topk.by_ref().take(2).collect();
+/// assert_eq!(top2[0].cost, Weight::new(7.0));
+/// assert_eq!(top2[1].cost, Weight::new(10.0));
+/// // The user enlarges k at run time: enumeration simply continues.
+/// let next = topk.next().unwrap();
+/// assert_eq!(next.cost, Weight::new(11.0));
+/// ```
+pub struct CommK<'g> {
+    graph: &'g Graph,
+    rmax: Weight,
+    cost_fn: CostFn,
+    l: usize,
+    v_sets: Vec<Vec<NodeId>>,
+    /// Scratch `S_i`, rebuilt per `Next()` from `V_i` minus chain removals.
+    s_sets: Vec<BTreeSet<NodeId>>,
+    ns: NeighborSets,
+    engine: DijkstraEngine,
+    can_list: Vec<CanTuple>,
+    /// Min-heap over `(cost, can-list index)`; the index doubles as a
+    /// deterministic tiebreaker (insertion order).
+    heap: FibHeap<(Weight, u32), u32>,
+    emitted: usize,
+    peak_bytes: usize,
+    started: bool,
+}
+
+impl<'g> CommK<'g> {
+    /// Prepares the enumeration; no work happens until the first `next()`.
+    pub fn new(graph: &'g Graph, spec: &QuerySpec) -> CommK<'g> {
+        let l = spec.l();
+        assert!(l > 0, "need at least one keyword");
+        CommK {
+            graph,
+            rmax: spec.rmax,
+            cost_fn: spec.cost,
+            l,
+            v_sets: spec.keyword_nodes.clone(),
+            s_sets: vec![BTreeSet::new(); l],
+            ns: NeighborSets::new(l, graph.node_count()),
+            engine: DijkstraEngine::new(graph.node_count()),
+            can_list: Vec::new(),
+            heap: FibHeap::new(),
+            emitted: 0,
+            peak_bytes: 0,
+            started: false,
+        }
+    }
+
+    /// Communities emitted so far (the current `k`).
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Size of the can-list (bounded by `l · k`, Theorem V.1).
+    pub fn can_list_len(&self) -> usize {
+        self.can_list.len()
+    }
+
+    /// Peak logical bytes: neighbor table + can-list + heap + `S_i`.
+    pub fn peak_memory_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Total `Neighbor()` sweeps run so far — `O(l)` per emitted community
+    /// (the paper's `O(c(l))` claim; contrast `lawler::LawlerK`).
+    pub fn neighbor_sweeps(&self) -> usize {
+        self.ns.sweeps()
+    }
+
+    fn track_memory(&mut self) {
+        let can_bytes: usize = self
+            .can_list
+            .iter()
+            .map(|t| t.core.byte_size() + 24)
+            .sum();
+        let heap_bytes = self.heap.len() * 48;
+        let s_bytes: usize = self
+            .s_sets
+            .iter()
+            .map(|s| s.len() * std::mem::size_of::<NodeId>() * 2)
+            .sum();
+        let bytes = self.ns.byte_size() + can_bytes + heap_bytes + s_bytes;
+        if bytes > self.peak_bytes {
+            self.peak_bytes = bytes;
+        }
+    }
+
+    fn recompute_from_s(&mut self, i: usize) {
+        let seeds: Vec<NodeId> = self.s_sets[i].iter().copied().collect();
+        self.ns
+            .recompute_dim(self.graph, &mut self.engine, i, seeds, self.rmax);
+    }
+
+    fn enheap(&mut self, tuple: CanTuple) {
+        let idx = self.can_list.len() as u32;
+        let key = (tuple.cost, idx);
+        self.can_list.push(tuple);
+        self.heap.push(key, idx);
+    }
+
+    /// Lines 1–6: find the best core of the full space and enheap it.
+    fn start(&mut self) {
+        self.started = true;
+        for i in 0..self.l {
+            self.s_sets[i] = self.v_sets[i].iter().copied().collect();
+            self.recompute_from_s(i);
+        }
+        if let Some(best) = self.ns.best_core_with(self.cost_fn) {
+            self.enheap(CanTuple {
+                core: best.core,
+                cost: best.cost,
+                pos: 0,
+                prev: None,
+            });
+        }
+        self.track_memory();
+    }
+
+    /// The `Next()` procedure (lines 15–31): subdivide tuple `g`'s subspace
+    /// and enheap the best core of each non-empty part.
+    fn expand(&mut self, g_idx: u32) {
+        let (g_core, g_pos) = {
+            let g = &self.can_list[g_idx as usize];
+            (g.core.clone(), g.pos)
+        };
+        // Preparation (lines 16–18): pin every dimension to the deheaped
+        // core's node and reset S_i to the full V_i.
+        for i in 0..self.l {
+            self.ns.recompute_dim(
+                self.graph,
+                &mut self.engine,
+                i,
+                [g_core.get(i)],
+                self.rmax,
+            );
+            self.s_sets[i] = self.v_sets[i].iter().copied().collect();
+        }
+        // Chain walk (lines 19–23, corrected — see module docs): rebuild
+        // g's subspace by removing, at each ancestor's position, the value
+        // the ancestor's *parent* excluded when creating it.
+        let mut h = g_idx;
+        loop {
+            let (pos, prev) = {
+                let t = &self.can_list[h as usize];
+                (t.pos, t.prev)
+            };
+            let Some(p) = prev else { break };
+            let removed = self.can_list[p as usize].core.get(pos);
+            self.s_sets[pos].remove(&removed);
+            h = p;
+        }
+        // Subdivision (lines 24–31), from dimension l−1 down to g.pos.
+        for i in (g_pos..self.l).rev() {
+            self.s_sets[i].remove(&g_core.get(i));
+            self.recompute_from_s(i);
+            if let Some(best) = self.ns.best_core_with(self.cost_fn) {
+                self.enheap(CanTuple {
+                    core: best.core,
+                    cost: best.cost,
+                    pos: i,
+                    prev: Some(g_idx),
+                });
+            }
+            self.s_sets[i].insert(g_core.get(i));
+            self.recompute_from_s(i);
+        }
+        self.track_memory();
+    }
+}
+
+impl<'g> Iterator for CommK<'g> {
+    type Item = Community;
+
+    fn next(&mut self) -> Option<Community> {
+        if !self.started {
+            self.start();
+        }
+        let (_, g_idx) = self.heap.pop_min()?;
+        let core = self.can_list[g_idx as usize].core.clone();
+        let community =
+            get_community_with(self.graph, &mut self.engine, &core, self.rmax, self.cost_fn)
+                .expect("a core returned by BestCore always has a center");
+        self.expand(g_idx);
+        self.emitted += 1;
+        Some(community)
+    }
+}
+
+/// Convenience: the top-k communities as a vector.
+pub fn comm_k(graph: &Graph, spec: &QuerySpec, k: usize) -> Vec<Community> {
+    CommK::new(graph, spec).take(k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_all_cores;
+    use comm_datasets::paper_example::{
+        fig4_graph, fig4_keyword_nodes, fig4_table1, FIG4_RMAX,
+    };
+
+    fn fig4_spec(rmax: f64) -> QuerySpec {
+        QuerySpec::new(fig4_keyword_nodes(), Weight::new(rmax))
+    }
+
+    #[test]
+    fn table1_ranking_in_order() {
+        // The paper's Table I, in rank order 1..5 with costs 7,10,11,14,15.
+        let g = fig4_graph();
+        let top = comm_k(&g, &fig4_spec(FIG4_RMAX), 10);
+        assert_eq!(top.len(), 5);
+        for (rank, core, cost, centers) in fig4_table1() {
+            let c = &top[rank - 1];
+            assert_eq!(
+                c.core.0.iter().map(|n| n.0).collect::<Vec<_>>(),
+                core.to_vec(),
+                "rank {rank}"
+            );
+            assert_eq!(c.cost, Weight::new(cost), "rank {rank}");
+            assert_eq!(
+                c.centers.iter().map(|n| n.0).collect::<Vec<_>>(),
+                centers,
+                "rank {rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_duplicates_beyond_k() {
+        let g = fig4_graph();
+        let all: Vec<_> = CommK::new(&g, &fig4_spec(FIG4_RMAX)).collect();
+        assert_eq!(all.len(), 5, "exhaustive CommK must terminate at 5");
+        let mut cores: Vec<_> = all.iter().map(|c| c.core.clone()).collect();
+        cores.sort();
+        cores.dedup();
+        assert_eq!(cores.len(), 5);
+    }
+
+    #[test]
+    fn order_is_nondecreasing() {
+        let g = fig4_graph();
+        let mut last = Weight::ZERO;
+        for c in CommK::new(&g, &fig4_spec(FIG4_RMAX)) {
+            assert!(c.cost >= last);
+            last = c.cost;
+        }
+    }
+
+    #[test]
+    fn interactive_k_extension_matches_oneshot() {
+        let g = fig4_graph();
+        let spec = fig4_spec(FIG4_RMAX);
+        // Take 2, then 2 more — must equal taking 4 at once.
+        let mut it = CommK::new(&g, &spec);
+        let mut resumed: Vec<Core> = it.by_ref().take(2).map(|c| c.core).collect();
+        resumed.extend(it.by_ref().take(2).map(|c| c.core));
+        let oneshot: Vec<Core> = comm_k(&g, &spec, 4).into_iter().map(|c| c.core).collect();
+        assert_eq!(resumed, oneshot);
+    }
+
+    #[test]
+    fn matches_naive_on_fig4_all_radii() {
+        let g = fig4_graph();
+        for rmax in [4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 12.0] {
+            let spec = fig4_spec(rmax);
+            let expect = naive_all_cores(&g, &spec);
+            let got: Vec<(Core, Weight)> = CommK::new(&g, &spec)
+                .map(|c| (c.core, c.cost))
+                .collect();
+            // Same multiset of cores…
+            let mut a: Vec<_> = got.iter().map(|(c, _)| c.clone()).collect();
+            a.sort();
+            let mut b: Vec<_> = expect.iter().map(|(c, _)| c.clone()).collect();
+            b.sort();
+            assert_eq!(a, b, "core sets differ at rmax={rmax}");
+            // …same cost sequence in rank order.
+            let costs_got: Vec<Weight> = got.iter().map(|&(_, w)| w).collect();
+            let costs_expect: Vec<Weight> = expect.iter().map(|&(_, w)| w).collect();
+            assert_eq!(costs_got, costs_expect, "cost order differs at rmax={rmax}");
+        }
+    }
+
+    #[test]
+    fn can_list_bounded_by_l_times_k() {
+        let g = fig4_graph();
+        let mut it = CommK::new(&g, &fig4_spec(FIG4_RMAX));
+        let mut emitted = 0;
+        while it.next().is_some() {
+            emitted += 1;
+            assert!(
+                it.can_list_len() <= 3 * emitted + 1,
+                "can-list {} exceeds l·k bound at k={emitted}",
+                it.can_list_len()
+            );
+        }
+        assert!(it.peak_memory_bytes() > 0);
+    }
+
+    #[test]
+    fn single_keyword_ranked() {
+        // l = 1: cores rank by distance-0 (each keyword node is a center
+        // of itself), so all costs are 0.
+        let g = fig4_graph();
+        let spec = QuerySpec::new(vec![vec![NodeId(4), NodeId(13)]], Weight::new(8.0));
+        let all: Vec<_> = CommK::new(&g, &spec).collect();
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().all(|c| c.cost == Weight::ZERO));
+    }
+
+    #[test]
+    fn empty_result_when_no_center_exists() {
+        let g = fig4_graph();
+        let spec = QuerySpec::new(
+            vec![vec![NodeId(4)], vec![NodeId(13)]],
+            Weight::new(1.0),
+        );
+        assert_eq!(CommK::new(&g, &spec).count(), 0);
+    }
+}

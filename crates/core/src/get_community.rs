@@ -1,0 +1,258 @@
+//! `GetCommunity()` (Algorithm 4): materializing the unique community of a
+//! core.
+//!
+//! Given a core `C`, the community `R(V, E)` is determined in three sweeps:
+//!
+//! 1. **centers** `V_c`: one reverse Dijkstra per distinct knode `c ∈ C`
+//!    accumulating `u.sum` / `u.count`; `u` is a center iff it reaches every
+//!    knode within `Rmax` (`u.count == l`);
+//! 2. **forward** distances `dist(s, u)` from a virtual source `s` hooked to
+//!    all centers with zero-weight edges (one multi-source Dijkstra);
+//! 3. **backward** distances `dist(u, t)` to a virtual sink `t` hooked from
+//!    all knodes (one reverse multi-source Dijkstra);
+//!
+//! and `V = { u | dist(s,u) + dist(u,t) ≤ Rmax }` — centers, knodes, and all
+//! path nodes. The induced subgraph over `V` is the community.
+
+use crate::types::{Community, Core, CostFn};
+use comm_graph::{DijkstraEngine, Direction, Graph, NodeId, Weight};
+
+/// Materializes the community uniquely determined by `core`, costing it
+/// with the paper's default sum cost.
+///
+/// Returns `None` if the core admits no center within `rmax` (never the
+/// case for cores produced by `BestCore()`, but possible for arbitrary
+/// caller-supplied cores).
+pub fn get_community(
+    graph: &Graph,
+    engine: &mut DijkstraEngine,
+    core: &Core,
+    rmax: Weight,
+) -> Option<Community> {
+    get_community_with(graph, engine, core, rmax, CostFn::SumDistances)
+}
+
+/// [`get_community`] under an arbitrary cost function.
+pub fn get_community_with(
+    graph: &Graph,
+    engine: &mut DijkstraEngine,
+    core: &Core,
+    rmax: Weight,
+    cost_fn: CostFn,
+) -> Option<Community> {
+    let n = graph.node_count();
+    let l = core.len();
+    debug_assert!(l > 0);
+
+    // Step 1: centers. A knode carrying several keywords counts once per
+    // keyword (Definition 2.1 aggregates over i = 1..l), so we accumulate
+    // per distinct knode and weight by multiplicity.
+    let distinct = core.distinct_nodes();
+    let mut sum = vec![0.0f64; n];
+    let mut maxd = vec![Weight::ZERO; n];
+    let mut count = vec![0usize; n];
+    for &c in &distinct {
+        let multiplicity = core.0.iter().filter(|&&x| x == c).count();
+        engine.run(graph, Direction::Reverse, [c], rmax, |s| {
+            let u = s.node.index();
+            sum[u] += s.dist.get() * multiplicity as f64;
+            if s.dist > maxd[u] {
+                maxd[u] = s.dist;
+            }
+            count[u] += multiplicity;
+        });
+    }
+    let mut centers: Vec<NodeId> = Vec::new();
+    let mut cost = Weight::INFINITY;
+    for u in 0..n {
+        if count[u] == l {
+            centers.push(NodeId(u as u32));
+            let s = match cost_fn {
+                CostFn::SumDistances => Weight::new(sum[u]),
+                CostFn::MaxDistance => maxd[u],
+            };
+            if s < cost {
+                cost = s;
+            }
+        }
+    }
+    if centers.is_empty() {
+        return None;
+    }
+
+    // Step 2: forward sweep from the virtual source over the centers.
+    let mut dist_s = vec![Weight::INFINITY; n];
+    engine.run(
+        graph,
+        Direction::Forward,
+        centers.iter().copied(),
+        rmax,
+        |s| {
+            dist_s[s.node.index()] = s.dist;
+        },
+    );
+
+    // Step 3: backward sweep from the virtual sink over the knodes.
+    let mut members: Vec<NodeId> = Vec::new();
+    engine.run(
+        graph,
+        Direction::Reverse,
+        distinct.iter().copied(),
+        rmax,
+        |s| {
+            let u = s.node.index();
+            if dist_s[u].is_finite() && dist_s[u] + s.dist <= rmax {
+                members.push(s.node);
+            }
+        },
+    );
+    members.sort_unstable();
+
+    debug_assert!(centers.iter().all(|c| members.binary_search(c).is_ok()));
+    debug_assert!(distinct.iter().all(|c| members.binary_search(c).is_ok()));
+
+    let subgraph = graph.induce(&members);
+    let path_nodes: Vec<NodeId> = members
+        .iter()
+        .copied()
+        .filter(|u| centers.binary_search(u).is_err() && distinct.binary_search(u).is_err())
+        .collect();
+
+    Some(Community {
+        core: core.clone(),
+        cost,
+        centers,
+        knodes: distinct,
+        path_nodes,
+        subgraph,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comm_datasets::paper_example::{fig4_graph, FIG4_RMAX};
+
+    fn comm(core: &[u32], rmax: f64) -> Option<Community> {
+        let g = fig4_graph();
+        let mut eng = DijkstraEngine::new(g.node_count());
+        get_community(
+            &g,
+            &mut eng,
+            &Core(core.iter().map(|&c| NodeId(c)).collect()),
+            Weight::new(rmax),
+        )
+    }
+
+    #[test]
+    fn r5_matches_paper_fig7() {
+        // Core [v13, v8, v11]: V_c = {v11, v12}, V_p = {v10} (paper Fig. 7).
+        let c = comm(&[13, 8, 11], FIG4_RMAX).unwrap();
+        assert_eq!(c.centers, vec![NodeId(11), NodeId(12)]);
+        assert_eq!(c.path_nodes, vec![NodeId(10)]);
+        assert_eq!(c.cost, Weight::new(11.0));
+        assert_eq!(
+            c.nodes(),
+            &[NodeId(8), NodeId(10), NodeId(11), NodeId(12), NodeId(13)]
+        );
+        // knodes sorted & deduped.
+        assert_eq!(c.knodes, vec![NodeId(8), NodeId(11), NodeId(13)]);
+    }
+
+    #[test]
+    fn r3_centers_and_cost() {
+        // Table I rank 1: core [v4, v8, v6], centers {v4, v7}, cost 7.
+        let c = comm(&[4, 8, 6], FIG4_RMAX).unwrap();
+        assert_eq!(c.centers, vec![NodeId(4), NodeId(7)]);
+        assert_eq!(c.cost, Weight::new(7.0));
+    }
+
+    #[test]
+    fn all_table1_communities() {
+        for (_, core, cost, centers) in comm_datasets::paper_example::fig4_table1() {
+            let c = comm(&core, FIG4_RMAX).unwrap();
+            assert_eq!(c.cost, Weight::new(cost), "core {core:?}");
+            let got: Vec<u32> = c.centers.iter().map(|n| n.0).collect();
+            assert_eq!(got, centers, "centers of {core:?}");
+        }
+    }
+
+    #[test]
+    fn centerless_core_returns_none() {
+        // v2 and v13 have no common ancestor within 8.
+        assert!(comm(&[13, 2, 9], FIG4_RMAX).is_none());
+    }
+
+    #[test]
+    fn community_subgraph_is_induced() {
+        let g = fig4_graph();
+        let c = comm(&[13, 8, 11], FIG4_RMAX).unwrap();
+        // Every G_D edge between community members must be present.
+        let members = c.nodes();
+        let mut expect = 0;
+        for &u in members {
+            for (v, _) in g.out_neighbors(u) {
+                if members.binary_search(&v).is_ok() {
+                    expect += 1;
+                }
+            }
+        }
+        assert_eq!(c.edge_count(), expect);
+        assert_eq!(c.node_count(), 5);
+        // Includes the v11→v12 / v12→v11 pair and v12→v13 etc.
+        let local_11 = c.subgraph.to_local(NodeId(11)).unwrap();
+        let local_12 = c.subgraph.to_local(NodeId(12)).unwrap();
+        assert!(c.subgraph.graph.has_edge(local_11, local_12));
+        assert!(c.subgraph.graph.has_edge(local_12, local_11));
+    }
+
+    #[test]
+    fn duplicate_keyword_node_counts_twice() {
+        // Core [v6, v6]: a node carrying both keywords. Center v7 has
+        // sum = 2·dist(v7, v6) = 4.
+        let c = comm(&[6, 6], FIG4_RMAX).unwrap();
+        assert!(c.centers.contains(&NodeId(6)));
+        assert_eq!(c.cost, Weight::ZERO); // v6 itself is a zero-cost center
+        assert_eq!(c.knodes, vec![NodeId(6)]);
+    }
+
+    #[test]
+    fn max_distance_cost() {
+        // Core [v13, v8, v11]: center v11 has per-knode distances
+        // {6, 5, 0} → max 6; center v12 has {3, 8, 3} → max 8. Cost = 6.
+        let g = fig4_graph();
+        let mut eng = DijkstraEngine::new(g.node_count());
+        let c = super::get_community_with(
+            &g,
+            &mut eng,
+            &Core(vec![NodeId(13), NodeId(8), NodeId(11)]),
+            Weight::new(FIG4_RMAX),
+            CostFn::MaxDistance,
+        )
+        .unwrap();
+        assert_eq!(c.cost, Weight::new(6.0));
+        // Membership is cost-independent.
+        assert_eq!(c.centers, vec![NodeId(11), NodeId(12)]);
+    }
+
+    #[test]
+    fn radius_shrinks_community() {
+        let big = comm(&[13, 8, 11], 8.0).unwrap();
+        // With Rmax = 6, v12 can no longer reach v8 (dist 8): only v11
+        // remains a center (5 + 0 + 6 = 11 > ... per-knode bound is 6: v11
+        // reaches v8 at 5, v13 at 6, itself at 0 — still a center).
+        let small = comm(&[13, 8, 11], 6.0).unwrap();
+        assert_eq!(small.centers, vec![NodeId(11)]);
+        assert!(small.node_count() <= big.node_count());
+    }
+
+    #[test]
+    fn path_node_inclusion_respects_radius() {
+        // For core [v13, v8, v11] with Rmax = 8, v10 qualifies because
+        // dist(s, v10) + dist(v10, t) = 2 + 3 = 5 ≤ 8.
+        let c = comm(&[13, 8, 11], 8.0).unwrap();
+        assert!(c.path_nodes.contains(&NodeId(10)));
+        // v9 reaches v8/v13 but is unreachable FROM the centers → excluded.
+        assert!(!c.nodes().contains(&NodeId(9)));
+    }
+}

@@ -1,0 +1,234 @@
+//! The straightforward Lawler adaptation the paper improves on.
+//!
+//! Sec. III-A: applying Lawler's procedure [12] to community search "as
+//! is" gives a top-k algorithm whose per-answer cost is `O(l · c(l))`,
+//! where `c(l)` is the cost of finding the top-1 community — because each
+//! of the `l` child subspaces of a deheaped candidate is solved *from
+//! scratch* (all `l` neighbor sets recomputed per child, `O(l²)` sweeps
+//! per answer). The paper's `COMM-k` reaches `O(c(l))` by sharing the
+//! neighbor-set state across children: pin each dimension once, then patch
+//! a single dimension per subspace (`O(l)` sweeps per answer).
+//!
+//! [`LawlerK`] implements the naive variant with identical semantics to
+//! [`CommK`](crate::CommK) — same partition, same tie-breaking, the exact
+//! same output sequence — so the two enumerators isolate precisely the
+//! sweep-sharing idea. The `ablation-lawler` benchmark table measures the
+//! gap; `neighbor_sweeps()` counts it exactly.
+
+use crate::get_community::get_community_with;
+use crate::neighbor::NeighborSets;
+use crate::types::{Community, Core, CostFn, QuerySpec};
+use comm_fibheap::FibHeap;
+use comm_graph::{DijkstraEngine, Graph, NodeId, Weight};
+use std::collections::BTreeSet;
+
+#[derive(Clone, Debug)]
+struct CanTuple {
+    core: Core,
+    pos: usize,
+    prev: Option<u32>,
+}
+
+/// Top-k community enumeration via the unimproved Lawler procedure.
+pub struct LawlerK<'g> {
+    graph: &'g Graph,
+    rmax: Weight,
+    cost_fn: CostFn,
+    l: usize,
+    v_sets: Vec<Vec<NodeId>>,
+    ns: NeighborSets,
+    engine: DijkstraEngine,
+    can_list: Vec<CanTuple>,
+    heap: FibHeap<(Weight, u32), u32>,
+    emitted: usize,
+    started: bool,
+}
+
+impl<'g> LawlerK<'g> {
+    /// Prepares the enumeration.
+    pub fn new(graph: &'g Graph, spec: &QuerySpec) -> LawlerK<'g> {
+        let l = spec.l();
+        assert!(l > 0, "need at least one keyword");
+        LawlerK {
+            graph,
+            rmax: spec.rmax,
+            cost_fn: spec.cost,
+            l,
+            v_sets: spec.keyword_nodes.clone(),
+            ns: NeighborSets::new(l, graph.node_count()),
+            engine: DijkstraEngine::new(graph.node_count()),
+            can_list: Vec::new(),
+            heap: FibHeap::new(),
+            emitted: 0,
+            started: false,
+        }
+    }
+
+    /// Communities emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Total `Neighbor()` sweeps — `O(l²)` per emitted community here.
+    pub fn neighbor_sweeps(&self) -> usize {
+        self.ns.sweeps()
+    }
+
+    /// The removal sets defining tuple `g`'s subspace, per dimension
+    /// (parent's core value at each ancestor's position — the same
+    /// corrected chain reconstruction as `CommK`).
+    fn chain_removals(&self, g_idx: u32) -> Vec<BTreeSet<NodeId>> {
+        let mut removed: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); self.l];
+        let mut h = g_idx;
+        loop {
+            let (pos, prev) = {
+                let t = &self.can_list[h as usize];
+                (t.pos, t.prev)
+            };
+            let Some(p) = prev else { break };
+            removed[pos].insert(self.can_list[p as usize].core.get(pos));
+            h = p;
+        }
+        removed
+    }
+
+    /// Solves one subspace *from scratch*: every dimension's neighbor set
+    /// recomputed (`l` sweeps), then one `BestCore()` scan.
+    fn best_in_subspace(
+        &mut self,
+        pinned: &Core,
+        split_dim: usize,
+        removed: &[BTreeSet<NodeId>],
+        extra_removed: NodeId,
+    ) -> Option<(Core, Weight)> {
+        for j in 0..self.l {
+            let seeds: Vec<NodeId> = if j < split_dim {
+                vec![pinned.get(j)]
+            } else if j == split_dim {
+                self.v_sets[j]
+                    .iter()
+                    .copied()
+                    .filter(|v| !removed[j].contains(v) && *v != extra_removed)
+                    .collect()
+            } else {
+                self.v_sets[j].clone()
+            };
+            self.ns
+                .recompute_dim(self.graph, &mut self.engine, j, seeds, self.rmax);
+        }
+        self.ns
+            .best_core_with(self.cost_fn)
+            .map(|b| (b.core, b.cost))
+    }
+
+    fn enheap(&mut self, core: Core, cost: Weight, pos: usize, prev: Option<u32>) {
+        let idx = self.can_list.len() as u32;
+        self.can_list.push(CanTuple { core, pos, prev });
+        self.heap.push((cost, idx), idx);
+    }
+
+    fn start(&mut self) {
+        self.started = true;
+        for j in 0..self.l {
+            let seeds = self.v_sets[j].clone();
+            self.ns
+                .recompute_dim(self.graph, &mut self.engine, j, seeds, self.rmax);
+        }
+        if let Some(best) = self.ns.best_core_with(self.cost_fn) {
+            self.enheap(best.core, best.cost, 0, None);
+        }
+    }
+
+    fn expand(&mut self, g_idx: u32) {
+        let (g_core, g_pos) = {
+            let g = &self.can_list[g_idx as usize];
+            (g.core.clone(), g.pos)
+        };
+        let removed = self.chain_removals(g_idx);
+        for i in (g_pos..self.l).rev() {
+            if let Some((core, cost)) =
+                self.best_in_subspace(&g_core, i, &removed, g_core.get(i))
+            {
+                self.enheap(core, cost, i, Some(g_idx));
+            }
+        }
+    }
+}
+
+impl<'g> Iterator for LawlerK<'g> {
+    type Item = Community;
+
+    fn next(&mut self) -> Option<Community> {
+        if !self.started {
+            self.start();
+        }
+        let (_, g_idx) = self.heap.pop_min()?;
+        let core = self.can_list[g_idx as usize].core.clone();
+        let community =
+            get_community_with(self.graph, &mut self.engine, &core, self.rmax, self.cost_fn)
+                .expect("a core returned by BestCore always has a center");
+        self.expand(g_idx);
+        self.emitted += 1;
+        Some(community)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CommK;
+    use comm_datasets::paper_example::{fig4_graph, fig4_keyword_nodes, FIG4_RMAX};
+
+    fn fig4_spec() -> QuerySpec {
+        QuerySpec::new(fig4_keyword_nodes(), Weight::new(FIG4_RMAX))
+    }
+
+    #[test]
+    fn identical_output_to_comm_k() {
+        let g = fig4_graph();
+        let spec = fig4_spec();
+        let ours: Vec<(Core, Weight)> = CommK::new(&g, &spec).map(|c| (c.core, c.cost)).collect();
+        let lawler: Vec<(Core, Weight)> =
+            LawlerK::new(&g, &spec).map(|c| (c.core, c.cost)).collect();
+        assert_eq!(ours, lawler);
+    }
+
+    #[test]
+    fn sweep_counts_show_the_factor() {
+        // PDk runs ≈ 3l sweeps per answer; the naive Lawler runs ≈ l² —
+        // so the gap appears for l > 3. Build an l = 6 query by doubling
+        // the three Fig. 4 keyword sets.
+        let g = fig4_graph();
+        let mut sets = fig4_keyword_nodes();
+        sets.extend(fig4_keyword_nodes());
+        let spec = QuerySpec::new(sets, Weight::new(FIG4_RMAX));
+        let mut ours = CommK::new(&g, &spec);
+        let mut lawler = LawlerK::new(&g, &spec);
+        let a: Vec<Weight> = ours.by_ref().map(|c| c.cost).collect();
+        let b: Vec<Weight> = lawler.by_ref().map(|c| c.cost).collect();
+        assert_eq!(a, b, "same enumeration at l=6");
+        assert!(!a.is_empty());
+        assert!(
+            lawler.neighbor_sweeps() as f64 > 1.5 * ours.neighbor_sweeps() as f64,
+            "lawler {} vs ours {}",
+            lawler.neighbor_sweeps(),
+            ours.neighbor_sweeps()
+        );
+    }
+
+    #[test]
+    fn max_cost_agrees_too() {
+        let g = fig4_graph();
+        let spec = fig4_spec().with_cost(CostFn::MaxDistance);
+        let ours: Vec<Weight> = CommK::new(&g, &spec).map(|c| c.cost).collect();
+        let lawler: Vec<Weight> = LawlerK::new(&g, &spec).map(|c| c.cost).collect();
+        assert_eq!(ours, lawler);
+    }
+
+    #[test]
+    fn empty_query_is_empty() {
+        let g = fig4_graph();
+        let spec = QuerySpec::new(vec![vec![], vec![NodeId(4)]], Weight::new(8.0));
+        assert_eq!(LawlerK::new(&g, &spec).count(), 0);
+    }
+}

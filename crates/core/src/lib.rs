@@ -1,0 +1,56 @@
+//! Keyword community search over database graphs — the core algorithms of
+//! "Querying Communities in Relational Databases" (ICDE 2009).
+//!
+//! Given a weighted directed database graph `G_D` (see `comm-graph` /
+//! `comm-rdb`), an l-keyword query resolved to node sets `V_1..V_l`, and a
+//! radius `Rmax`, a **community** (Definition 2.1) is the induced subgraph
+//! over *knodes* (one node per keyword, the community's **core**),
+//! *cnodes* (centers reaching every knode within `Rmax`), and *pnodes*
+//! (nodes on qualifying center→knode paths). This crate implements:
+//!
+//! * [`CommAll`] — Algorithm 1: polynomial-delay enumeration of all
+//!   communities, complete and duplication-free
+//!   (`O(l·(n log n + m))` delay, `O(l·n + m)` space);
+//! * [`CommK`] — Algorithm 5: exact top-k enumeration in cost order via a
+//!   can-list + Fibonacci heap, with `k` interactively extendable at run
+//!   time (`O(l²·k + l·n + m)` space);
+//! * [`get_community`] — Algorithm 4: materializing the unique community
+//!   of a core;
+//! * [`NeighborSets`] — Algorithms 2 & 3 (`Neighbor()` / `BestCore()`);
+//! * [`naive`] — the exponential nested-loop oracle of Sec. III.
+//!
+//! # Quickstart
+//! ```
+//! use comm_core::{comm_k, QuerySpec};
+//! use comm_datasets::paper_example::{fig4_graph, fig4_keyword_nodes, FIG4_RMAX};
+//! use comm_graph::Weight;
+//!
+//! let graph = fig4_graph();
+//! let spec = QuerySpec::new(fig4_keyword_nodes(), Weight::new(FIG4_RMAX));
+//! let top3 = comm_k(&graph, &spec, 3);
+//! assert_eq!(top3[0].cost, Weight::new(7.0)); // Table I, rank 1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod dot;
+mod comm_all;
+mod comm_k;
+mod get_community;
+pub mod lawler;
+pub mod naive;
+mod neighbor;
+mod projection;
+pub mod trees;
+mod types;
+
+pub use baselines::{bu_all, bu_topk, td_all, td_topk, BaselineRun, BaselineStats};
+pub use comm_all::{comm_all, CommAll};
+pub use comm_k::{comm_k, CommK};
+pub use get_community::{get_community, get_community_with};
+pub use lawler::LawlerK;
+pub use neighbor::{BestCore, NeighborSets};
+pub use projection::{ProjectedQuery, ProjectionIndex};
+pub use types::{Community, Core, CostFn, QuerySpec};

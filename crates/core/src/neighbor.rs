@@ -1,0 +1,300 @@
+//! `Neighbor()` (Algorithm 2) and `BestCore()` (Algorithm 3).
+//!
+//! [`NeighborSets`] keeps, for each node `u` and each keyword dimension `i`,
+//! the nearest currently-admissible node containing `k_i` (`src(N_i, u)`)
+//! and its distance (`min(N_i, u)`), plus the per-node running total weight
+//! and keyword counter the paper describes for `BestCore`'s `O(n)` scan.
+//! Recomputing one dimension (`Neighbor(S_i, Rmax)`) patches the totals
+//! incrementally, so the bookkeeping adds no asymptotic cost on top of
+//! Dijkstra, exactly as claimed in Sec. IV-A.
+
+use crate::types::{Core, CostFn};
+use comm_graph::{DijkstraEngine, Direction, Graph, NodeId, Weight};
+
+const NO_SRC: u32 = u32::MAX;
+
+/// The best core found by a `BestCore()` scan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BestCore {
+    /// The core `C = [c_1..c_l]`.
+    pub core: Core,
+    /// Its cost: the center's total shortest-path weight to all `c_i`.
+    pub cost: Weight,
+    /// The center realizing that cost.
+    pub center: NodeId,
+}
+
+/// Per-dimension neighbor sets with incremental `sum`/`count` bookkeeping.
+pub struct NeighborSets {
+    l: usize,
+    n: usize,
+    /// Dimension-major `dist[i * n + u]`: `min(N_i, u)` or `INFINITY`.
+    dist: Vec<Weight>,
+    /// Dimension-major nearest keyword node `src(N_i, u)`, `NO_SRC` if none.
+    src: Vec<u32>,
+    /// Per-node total of finite dimension distances.
+    sum: Vec<Weight>,
+    /// Per-node number of finite dimensions; `count[u] == l` ⇔ `u ∈ ⋂ N_i`.
+    count: Vec<u8>,
+    /// How many `Neighbor()` sweeps (`recompute_dim` calls) have run — the
+    /// unit the paper's `O(c(l))` vs `O(l·c(l))` comparison counts.
+    sweeps: usize,
+}
+
+impl NeighborSets {
+    /// Creates empty neighbor sets for `l` keywords over `n` nodes.
+    pub fn new(l: usize, n: usize) -> NeighborSets {
+        assert!(l > 0 && l <= u8::MAX as usize, "need 1 ≤ l ≤ 255 keywords");
+        NeighborSets {
+            l,
+            n,
+            dist: vec![Weight::INFINITY; l * n],
+            src: vec![NO_SRC; l * n],
+            sum: vec![Weight::ZERO; n],
+            count: vec![0; n],
+            sweeps: 0,
+        }
+    }
+
+    /// Total `Neighbor()` sweeps run so far.
+    pub fn sweeps(&self) -> usize {
+        self.sweeps
+    }
+
+    /// Number of keyword dimensions.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// `min(N_i, u)`, if `u ∈ N_i`.
+    pub fn dist(&self, i: usize, u: NodeId) -> Option<Weight> {
+        let d = self.dist[i * self.n + u.index()];
+        d.is_finite().then_some(d)
+    }
+
+    /// `src(N_i, u)`: the nearest admissible node containing `k_i`.
+    pub fn src(&self, i: usize, u: NodeId) -> Option<NodeId> {
+        let s = self.src[i * self.n + u.index()];
+        (s != NO_SRC).then_some(NodeId(s))
+    }
+
+    /// The nodes of `N_i` (mainly for tests; `O(n)`).
+    pub fn neighbor_set(&self, i: usize) -> Vec<NodeId> {
+        (0..self.n as u32)
+            .map(NodeId)
+            .filter(|u| self.dist[i * self.n + u.index()].is_finite())
+            .collect()
+    }
+
+    /// Recomputes dimension `i` as `Neighbor(G_D, seeds, rmax)`:
+    /// a multi-source Dijkstra over the *reverse* graph (the virtual-sink
+    /// construction of Algorithm 2), truncated at `rmax`.
+    ///
+    /// Seeds must be sorted for deterministic nearest-source tie-breaking.
+    pub fn recompute_dim(
+        &mut self,
+        graph: &Graph,
+        engine: &mut DijkstraEngine,
+        i: usize,
+        seeds: impl IntoIterator<Item = NodeId>,
+        rmax: Weight,
+    ) {
+        debug_assert!(i < self.l);
+        self.sweeps += 1;
+        let n = self.n;
+        let dist = &mut self.dist[i * n..(i + 1) * n];
+        let src = &mut self.src[i * n..(i + 1) * n];
+        // Retract the old contribution of dimension i.
+        for u in 0..n {
+            if dist[u].is_finite() {
+                self.count[u] -= 1;
+                // f64 retraction can drift by an ulp; snap to exact zero
+                // when the last dimension leaves and clamp tiny negatives.
+                let new_sum = if self.count[u] == 0 {
+                    0.0
+                } else {
+                    (self.sum[u].get() - dist[u].get()).max(0.0)
+                };
+                self.sum[u] = Weight::new(new_sum);
+                dist[u] = Weight::INFINITY;
+                src[u] = NO_SRC;
+            }
+        }
+        // Refill from the truncated reverse Dijkstra.
+        let sum = &mut self.sum;
+        let count = &mut self.count;
+        engine.run(graph, Direction::Reverse, seeds, rmax, |s| {
+            let u = s.node.index();
+            dist[u] = s.dist;
+            src[u] = s.source.0;
+            sum[u] += s.dist;
+            count[u] += 1;
+        });
+    }
+
+    /// `BestCore()` (Algorithm 3) under the paper's sum cost: scans
+    /// `⋂ N_i` once and returns the minimum-cost core, the cost being the
+    /// scanning center's total distance `Σ_i min(N_i, u)`. Ties break by
+    /// center id (deterministic).
+    pub fn best_core(&self) -> Option<BestCore> {
+        self.best_core_with(CostFn::SumDistances)
+    }
+
+    /// `BestCore()` under an arbitrary cost function. The sum variant uses
+    /// the incrementally maintained totals (`O(n)`); other variants
+    /// aggregate the l per-dimension distances per intersection node
+    /// (`O(l·n)`, still within the per-answer budget of Theorem IV.1).
+    pub fn best_core_with(&self, cost_fn: CostFn) -> Option<BestCore> {
+        let mut best: Option<(Weight, usize)> = None;
+        for u in 0..self.n {
+            if usize::from(self.count[u]) == self.l {
+                let cost = match cost_fn {
+                    CostFn::SumDistances => self.sum[u],
+                    _ => cost_fn.combine((0..self.l).map(|i| self.dist[i * self.n + u])),
+                };
+                match best {
+                    Some((b, _)) if b <= cost => {}
+                    _ => best = Some((cost, u)),
+                }
+            }
+        }
+        let (cost, u) = best?;
+        let core = Core(
+            (0..self.l)
+                .map(|i| {
+                    let s = self.src[i * self.n + u];
+                    debug_assert_ne!(s, NO_SRC);
+                    NodeId(s)
+                })
+                .collect(),
+        );
+        Some(BestCore {
+            core,
+            cost,
+            center: NodeId(u as u32),
+        })
+    }
+
+    /// All nodes currently in `⋂ N_i` — potential centers (for tests).
+    pub fn intersection(&self) -> Vec<NodeId> {
+        (0..self.n)
+            .filter(|&u| usize::from(self.count[u]) == self.l)
+            .map(|u| NodeId(u as u32))
+            .collect()
+    }
+
+    /// Logical bytes held — the paper's `O(l·n)` table plus sums/counters.
+    pub fn byte_size(&self) -> usize {
+        self.dist.len() * std::mem::size_of::<Weight>()
+            + self.src.len() * std::mem::size_of::<u32>()
+            + self.sum.len() * std::mem::size_of::<Weight>()
+            + self.count.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comm_datasets::paper_example::{fig4_graph, fig4_keyword_nodes};
+
+    fn fig4() -> Graph {
+        fig4_graph()
+    }
+
+    fn v_sets() -> Vec<Vec<NodeId>> {
+        fig4_keyword_nodes()
+    }
+
+    fn build(rmax: f64) -> (Graph, NeighborSets, DijkstraEngine) {
+        let g = fig4();
+        let mut eng = DijkstraEngine::new(g.node_count());
+        let mut ns = NeighborSets::new(3, g.node_count());
+        for (i, set) in v_sets().into_iter().enumerate() {
+            ns.recompute_dim(&g, &mut eng, i, set, Weight::new(rmax));
+        }
+        (g, ns, eng)
+    }
+
+    #[test]
+    fn neighbor_sets_match_paper_walkthrough() {
+        // Sec. IV: with Rmax = 8,
+        // N1 = {1,4,5,7,8,9,11,12,13}, N2 = {1,2,4,5,7,8,9,10,11,12},
+        // N3 = {1,2,3,4,5,6,7,9,11,12}.
+        let (_, ns, _) = build(8.0);
+        let ids = |v: Vec<NodeId>| v.into_iter().map(|n| n.0).collect::<Vec<_>>();
+        assert_eq!(ids(ns.neighbor_set(0)), vec![1, 4, 5, 7, 8, 9, 11, 12, 13]);
+        assert_eq!(ids(ns.neighbor_set(1)), vec![1, 2, 4, 5, 7, 8, 9, 10, 11, 12]);
+        assert_eq!(ids(ns.neighbor_set(2)), vec![1, 2, 3, 4, 5, 6, 7, 9, 11, 12]);
+        // Intersection from the walkthrough: {1,4,5,7,9,11,12}.
+        assert_eq!(ids(ns.intersection()), vec![1, 4, 5, 7, 9, 11, 12]);
+    }
+
+    #[test]
+    fn first_best_core_is_r3() {
+        // Sec. IV: "BestCore() identifies a core C = [v4, v8, v6] centered
+        // at v7 with a cost of 7".
+        let (_, ns, _) = build(8.0);
+        let best = ns.best_core().unwrap();
+        assert_eq!(best.core, Core(vec![NodeId(4), NodeId(8), NodeId(6)]));
+        assert_eq!(best.cost, Weight::new(7.0));
+        assert_eq!(best.center, NodeId(7));
+    }
+
+    #[test]
+    fn restricting_dim_changes_best_core() {
+        // Sec. IV walkthrough: pin dims 1,2 to {v4},{v8}, restrict dim 3 to
+        // V3 − {v6} = {v3, v9, v11}: intersection is empty → no core.
+        let (g, mut ns, mut eng) = build(8.0);
+        let r = Weight::new(8.0);
+        ns.recompute_dim(&g, &mut eng, 0, [NodeId(4)], r);
+        ns.recompute_dim(&g, &mut eng, 1, [NodeId(8)], r);
+        ns.recompute_dim(&g, &mut eng, 2, vec![NodeId(3), NodeId(9), NodeId(11)], r);
+        assert_eq!(ns.best_core(), None);
+        // Then S2 = {v2}, dim 3 back to full V3: core [v4, v2, v3].
+        ns.recompute_dim(&g, &mut eng, 2, v_sets()[2].clone(), r);
+        ns.recompute_dim(&g, &mut eng, 1, [NodeId(2)], r);
+        let best = ns.best_core().unwrap();
+        assert_eq!(best.core, Core(vec![NodeId(4), NodeId(2), NodeId(3)]));
+        assert_eq!(best.cost, Weight::new(14.0));
+        assert_eq!(best.center, NodeId(1));
+    }
+
+    #[test]
+    fn sums_and_counts_survive_recompute_cycles() {
+        let (g, mut ns, mut eng) = build(8.0);
+        let before = ns.best_core();
+        // Thrash one dimension and restore it.
+        let r = Weight::new(8.0);
+        for _ in 0..5 {
+            ns.recompute_dim(&g, &mut eng, 1, [NodeId(2)], r);
+            ns.recompute_dim(&g, &mut eng, 1, v_sets()[1].clone(), r);
+        }
+        assert_eq!(ns.best_core(), before);
+    }
+
+    #[test]
+    fn empty_seed_dimension_blocks_all_cores() {
+        let (g, mut ns, mut eng) = build(8.0);
+        ns.recompute_dim(&g, &mut eng, 0, std::iter::empty(), Weight::new(8.0));
+        assert_eq!(ns.best_core(), None);
+        assert!(ns.intersection().is_empty());
+    }
+
+    #[test]
+    fn src_and_dist_accessors() {
+        let (_, ns, _) = build(8.0);
+        // v7 reaches keyword-b node v8 at distance 3.
+        assert_eq!(ns.dist(1, NodeId(7)), Some(Weight::new(3.0)));
+        assert_eq!(ns.src(1, NodeId(7)), Some(NodeId(8)));
+        // v3 cannot reach any a-node within 8.
+        assert_eq!(ns.dist(0, NodeId(3)), None);
+        assert_eq!(ns.src(0, NodeId(3)), None);
+    }
+
+    #[test]
+    fn byte_size_scales_with_l_n() {
+        let a = NeighborSets::new(2, 100).byte_size();
+        let b = NeighborSets::new(4, 100).byte_size();
+        assert!(b > a);
+    }
+}

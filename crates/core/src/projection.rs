@@ -1,0 +1,393 @@
+//! Indexing and graph projection (Sec. VI, Algorithm 6).
+//!
+//! The index consists of two inverted maps built for a maximum radius `R`:
+//!
+//! * `invertedN`: keyword `w` → the nodes `V_w` containing `w`;
+//! * `invertedE`: keyword `w` → every edge `(u, v)` whose *both* endpoints
+//!   can reach some node of `V_w` within `R` (i.e. both lie in
+//!   `Neighbor(V_w, R)`).
+//!
+//! For an l-keyword query with `Rmax ≤ R`, [`ProjectionIndex::project`]
+//! assembles the union of the keywords' inverted entries, intersects the
+//! per-keyword neighbor sets to get candidate centers `V_c`, and keeps only
+//! nodes on a qualifying center→keyword-node path (the `s`/`t`
+//! double-sweep of Algorithm 6, lines 10–15). Every community of the query
+//! lives entirely inside `Neighbor(V_i, Rmax) ⊆ Neighbor(V_i, R)` for each
+//! `i`, so running any of the enumerators on the projected graph returns
+//! exactly the communities of the full graph (tested by the projection
+//! property tests).
+
+use crate::types::QuerySpec;
+use comm_graph::{
+    Direction, DijkstraEngine, Graph, GraphBuilder, InducedGraph, NodeId, Weight,
+};
+use std::collections::HashMap;
+
+/// A keyword together with its inverted-index payload.
+#[derive(Clone, Debug, Default)]
+struct KeywordEntry {
+    /// `V_w`: nodes containing the keyword (sorted).
+    nodes: Vec<NodeId>,
+    /// Edges `(u, v, w)` with both endpoints within `R` of `V_w`.
+    edges: Vec<(NodeId, NodeId, Weight)>,
+}
+
+/// The two inverted indexes of Sec. VI, plus the projection operation.
+pub struct ProjectionIndex {
+    radius: Weight,
+    entries: HashMap<String, KeywordEntry>,
+    node_count: usize,
+}
+
+/// A projected subgraph plus the query translated to local node ids.
+pub struct ProjectedQuery {
+    /// The projected graph `G_P ⊆ G_D` (renumbered) with the original-id
+    /// mapping.
+    pub projected: InducedGraph,
+    /// The query's keyword node sets in *local* (projected) ids.
+    pub spec: QuerySpec,
+}
+
+impl ProjectionIndex {
+    /// Builds the index over `graph` for every `(keyword, nodes)` pair,
+    /// supporting queries with `Rmax ≤ radius`.
+    ///
+    /// Cost: one radius-bounded reverse multi-source Dijkstra per keyword
+    /// plus one adjacency scan of the reached set.
+    pub fn build<'a>(
+        graph: &Graph,
+        keywords: impl IntoIterator<Item = (&'a str, &'a [NodeId])>,
+        radius: Weight,
+    ) -> ProjectionIndex {
+        let n = graph.node_count();
+        let mut engine = DijkstraEngine::new(n);
+        let mut entries = HashMap::new();
+        // Epoch-stamped membership scratch for "both endpoints reached".
+        let mut stamp = vec![0u32; n];
+        let mut epoch = 0u32;
+        for (kw, v_w) in keywords {
+            let mut nodes: Vec<NodeId> = v_w.to_vec();
+            nodes.sort_unstable();
+            nodes.dedup();
+            epoch += 1;
+            let mut reached: Vec<NodeId> = Vec::new();
+            engine.run(graph, Direction::Reverse, nodes.iter().copied(), radius, |s| {
+                stamp[s.node.index()] = epoch;
+                reached.push(s.node);
+            });
+            let mut edges = Vec::new();
+            for &u in &reached {
+                for (v, w) in graph.out_neighbors(u) {
+                    if stamp[v.index()] == epoch {
+                        edges.push((u, v, w));
+                    }
+                }
+            }
+            entries.insert(
+                kw.to_lowercase(),
+                KeywordEntry { nodes, edges },
+            );
+        }
+        ProjectionIndex {
+            radius,
+            entries,
+            node_count: n,
+        }
+    }
+
+    /// The maximum `Rmax` this index supports.
+    pub fn radius(&self) -> Weight {
+        self.radius
+    }
+
+    /// Number of indexed keywords.
+    pub fn keyword_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `invertedN` lookup: the nodes containing `keyword`.
+    pub fn nodes_of(&self, keyword: &str) -> &[NodeId] {
+        self.entries
+            .get(&keyword.to_lowercase())
+            .map(|e| e.nodes.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// `invertedE` lookup: the edges indexed under `keyword`.
+    pub fn edges_of(&self, keyword: &str) -> &[(NodeId, NodeId, Weight)] {
+        self.entries
+            .get(&keyword.to_lowercase())
+            .map(|e| e.edges.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Total logical bytes of the inverted indexes (reported next to the
+    /// raw dataset size, as in Sec. VII).
+    pub fn byte_size(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(k, e)| {
+                k.len()
+                    + e.nodes.len() * std::mem::size_of::<NodeId>()
+                    + e.edges.len() * std::mem::size_of::<(NodeId, NodeId, Weight)>()
+            })
+            .sum()
+    }
+
+    /// `GraphProjection` (Algorithm 6): projects the subgraph relevant to
+    /// an l-keyword query with radius `rmax ≤ self.radius()`.
+    ///
+    /// Returns `None` if some keyword is missing from the index entirely.
+    ///
+    /// # Panics
+    /// If `rmax` exceeds the index radius `R` (the projection would be
+    /// incomplete, silently dropping communities).
+    pub fn project(&self, keywords: &[&str], rmax: Weight) -> Option<ProjectedQuery> {
+        assert!(
+            rmax <= self.radius,
+            "query Rmax {rmax} exceeds index radius {}",
+            self.radius
+        );
+        // Assemble the union graph G'(V', E') of the keywords' entries
+        // (lines 1–9). Dedup edges across keywords.
+        let mut w_sets: Vec<&KeywordEntry> = Vec::with_capacity(keywords.len());
+        for kw in keywords {
+            w_sets.push(self.entries.get(&kw.to_lowercase())?);
+        }
+        let mut union_edges: Vec<(NodeId, NodeId, Weight)> = Vec::new();
+        for e in &w_sets {
+            union_edges.extend_from_slice(&e.edges);
+        }
+        union_edges.sort_unstable_by_key(|a| (a.0, a.1, a.2));
+        union_edges.dedup();
+        // V' = all endpoints plus every keyword node.
+        let mut v_union: Vec<NodeId> = union_edges
+            .iter()
+            .flat_map(|&(u, v, _)| [u, v])
+            .chain(w_sets.iter().flat_map(|e| e.nodes.iter().copied()))
+            .collect();
+        v_union.sort_unstable();
+        v_union.dedup();
+
+        // Renumber into a scratch graph.
+        let local = |orig: NodeId| -> NodeId {
+            NodeId(v_union.binary_search(&orig).expect("endpoint in V'") as u32)
+        };
+        let mut b = GraphBuilder::new(v_union.len());
+        for &(u, v, w) in &union_edges {
+            b.add_edge(local(u), local(v), w);
+        }
+        let g_prime = b.build();
+        let mut engine = DijkstraEngine::new(g_prime.node_count());
+
+        // Candidate centers V_c = ⋂_i Neighbor(W_i, rmax) over G'.
+        let np = g_prime.node_count();
+        let mut count = vec![0usize; np];
+        for e in &w_sets {
+            let seeds: Vec<NodeId> = e.nodes.iter().map(|&v| local(v)).collect();
+            engine.run(&g_prime, Direction::Reverse, seeds, rmax, |s| {
+                count[s.node.index()] += 1;
+            });
+        }
+        let centers: Vec<NodeId> = (0..np)
+            .filter(|&u| count[u] == w_sets.len())
+            .map(|u| NodeId(u as u32))
+            .collect();
+
+        // Double sweep (lines 10–14): keep v with dist(s,v) + dist(v,t) ≤ rmax,
+        // where s feeds the centers and t drains all keyword nodes W'.
+        let mut dist_s = vec![Weight::INFINITY; np];
+        engine.run(
+            &g_prime,
+            Direction::Forward,
+            centers.iter().copied(),
+            rmax,
+            |s| {
+                dist_s[s.node.index()] = s.dist;
+            },
+        );
+        let mut all_kw_local: Vec<NodeId> = w_sets
+            .iter()
+            .flat_map(|e| e.nodes.iter().map(|&v| local(v)))
+            .collect();
+        all_kw_local.sort_unstable();
+        all_kw_local.dedup();
+        let mut keep: Vec<NodeId> = Vec::new();
+        engine.run(&g_prime, Direction::Reverse, all_kw_local, rmax, |s| {
+            let u = s.node.index();
+            if dist_s[u].is_finite() && dist_s[u] + s.dist <= rmax {
+                // Translate back to original ids for the final induction.
+                keep.push(v_union[u]);
+            }
+        });
+        keep.sort_unstable();
+
+        // Final projected graph G_P over original ids (line 15-16); edges
+        // come from the union graph restricted to kept nodes.
+        let keep_local: Vec<NodeId> = keep.iter().map(|&v| local(v)).collect();
+        let gp = {
+            let set: std::collections::HashSet<NodeId> = keep_local.iter().copied().collect();
+            let to_final: HashMap<NodeId, NodeId> = keep_local
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, NodeId(i as u32)))
+                .collect();
+            let mut b = GraphBuilder::new(keep.len());
+            for &(u, v, w) in &union_edges {
+                let (lu, lv) = (local(u), local(v));
+                if set.contains(&lu) && set.contains(&lv) {
+                    b.add_edge(to_final[&lu], to_final[&lv], w);
+                }
+            }
+            b.build()
+        };
+        let projected = InducedGraph {
+            graph: gp,
+            original_ids: keep.clone(),
+        };
+
+        // Translate the query to local ids (keyword nodes that survived).
+        let spec = QuerySpec::new(
+            w_sets
+                .iter()
+                .map(|e| {
+                    e.nodes
+                        .iter()
+                        .filter_map(|&v| projected.to_local(v))
+                        .collect()
+                })
+                .collect(),
+            rmax,
+        );
+        Some(ProjectedQuery { projected, spec })
+    }
+
+    /// Fraction of `G_D`'s nodes that survive projection for a query —
+    /// the "projected graph size" statistic of Sec. VII.
+    pub fn projection_ratio(&self, q: &ProjectedQuery) -> f64 {
+        if self.node_count == 0 {
+            0.0
+        } else {
+            q.projected.graph.node_count() as f64 / self.node_count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{comm_all, comm_k};
+    use comm_datasets::paper_example::{fig4_graph, fig4_keyword_nodes, FIG4_RMAX};
+    use std::collections::BTreeSet;
+
+    fn index(radius: f64) -> (Graph, ProjectionIndex) {
+        let g = fig4_graph();
+        let kn = fig4_keyword_nodes();
+        let idx = ProjectionIndex::build(
+            &g,
+            [
+                ("a", kn[0].as_slice()),
+                ("b", kn[1].as_slice()),
+                ("c", kn[2].as_slice()),
+            ],
+            Weight::new(radius),
+        );
+        (g, idx)
+    }
+
+    fn cores_on(g: &Graph, spec: &QuerySpec) -> BTreeSet<Vec<u32>> {
+        comm_all(g, spec)
+            .into_iter()
+            .map(|c| c.core.0.iter().map(|n| n.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn inverted_n_lookup() {
+        let (_, idx) = index(8.0);
+        assert_eq!(idx.nodes_of("a"), &[NodeId(4), NodeId(13)]);
+        assert_eq!(idx.nodes_of("A"), &[NodeId(4), NodeId(13)]);
+        assert!(idx.nodes_of("zzz").is_empty());
+        assert_eq!(idx.keyword_count(), 3);
+        assert!(idx.byte_size() > 0);
+    }
+
+    #[test]
+    fn inverted_e_endpoints_within_radius() {
+        let (g, idx) = index(8.0);
+        let mut engine = DijkstraEngine::new(g.node_count());
+        let kn = fig4_keyword_nodes();
+        // Verify the invertedE definition for keyword "b".
+        let mut dist = vec![Weight::INFINITY; g.node_count()];
+        engine.run(&g, Direction::Reverse, kn[1].iter().copied(), Weight::new(8.0), |s| {
+            dist[s.node.index()] = s.dist;
+        });
+        for &(u, v, _) in idx.edges_of("b") {
+            assert!(dist[u.index()].is_finite(), "u={u} not within R of V_b");
+            assert!(dist[v.index()].is_finite(), "v={v} not within R of V_b");
+        }
+        // And completeness: every qualifying edge is present.
+        let expect: usize = g
+            .edges()
+            .filter(|&(u, v, _)| dist[u.index()].is_finite() && dist[v.index()].is_finite())
+            .count();
+        assert_eq!(idx.edges_of("b").len(), expect);
+    }
+
+    #[test]
+    fn projection_preserves_all_communities() {
+        let (g, idx) = index(8.0);
+        let full_spec = QuerySpec::new(fig4_keyword_nodes(), Weight::new(FIG4_RMAX));
+        let full = cores_on(&g, &full_spec);
+        let pq = idx.project(&["a", "b", "c"], Weight::new(FIG4_RMAX)).unwrap();
+        // Enumerate on the projected graph and translate back.
+        let projected: BTreeSet<Vec<u32>> = comm_all(&pq.projected.graph, &pq.spec)
+            .into_iter()
+            .map(|c| {
+                c.core
+                    .0
+                    .iter()
+                    .map(|&n| pq.projected.to_original(n).0)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(projected, full);
+    }
+
+    #[test]
+    fn projection_preserves_topk_order() {
+        let (g, idx) = index(8.0);
+        let full_spec = QuerySpec::new(fig4_keyword_nodes(), Weight::new(FIG4_RMAX));
+        let full: Vec<f64> = comm_k(&g, &full_spec, 5).iter().map(|c| c.cost.get()).collect();
+        let pq = idx.project(&["a", "b", "c"], Weight::new(FIG4_RMAX)).unwrap();
+        let proj: Vec<f64> = comm_k(&pq.projected.graph, &pq.spec, 5)
+            .iter()
+            .map(|c| c.cost.get())
+            .collect();
+        assert_eq!(full, proj);
+    }
+
+    #[test]
+    fn projection_shrinks_graph() {
+        let (g, idx) = index(8.0);
+        // A 2-keyword query on {a, b} must not retain nodes only relevant
+        // to c-paths.
+        let pq = idx.project(&["a", "b"], Weight::new(6.0)).unwrap();
+        assert!(pq.projected.graph.node_count() < g.node_count());
+        assert!(idx.projection_ratio(&pq) < 1.0);
+    }
+
+    #[test]
+    fn smaller_rmax_allowed_larger_panics() {
+        let (_, idx) = index(8.0);
+        assert!(idx.project(&["a", "b"], Weight::new(4.0)).is_some());
+        let res = std::panic::catch_unwind(|| idx.project(&["a", "b"], Weight::new(9.0)));
+        assert!(res.is_err(), "Rmax > R must panic");
+    }
+
+    #[test]
+    fn unknown_keyword_gives_none() {
+        let (_, idx) = index(8.0);
+        assert!(idx.project(&["a", "nope"], Weight::new(6.0)).is_none());
+    }
+}

@@ -1,0 +1,261 @@
+//! Edge-case integration tests for the core enumerators: degenerate
+//! graphs, exhausted iterators, overlapping keyword sets, disconnected
+//! components, and parameter extremes.
+
+use comm_core::trees::topk_trees;
+use comm_core::{
+    bu_all, bu_topk, comm_all, comm_k, td_all, td_topk, CommAll, CommK, Core, CostFn,
+    ProjectionIndex, QuerySpec,
+};
+use comm_graph::{graph_from_edges, GraphBuilder, NodeId, Weight};
+
+fn spec(sets: &[&[u32]], rmax: f64) -> QuerySpec {
+    QuerySpec::new(
+        sets.iter()
+            .map(|s| s.iter().map(|&v| NodeId(v)).collect())
+            .collect(),
+        Weight::new(rmax),
+    )
+}
+
+#[test]
+fn singleton_graph_single_keyword() {
+    let g = graph_from_edges(1, &[]);
+    let all = comm_all(&g, &spec(&[&[0]], 5.0));
+    assert_eq!(all.len(), 1);
+    assert_eq!(all[0].core, Core(vec![NodeId(0)]));
+    assert_eq!(all[0].centers, vec![NodeId(0)]);
+    assert_eq!(all[0].cost, Weight::ZERO);
+    assert_eq!(all[0].node_count(), 1);
+    assert_eq!(all[0].edge_count(), 0);
+}
+
+#[test]
+fn exhausted_iterators_stay_exhausted() {
+    let g = graph_from_edges(2, &[(0, 1, 1.0)]);
+    let q = spec(&[&[0], &[1]], 3.0);
+    let mut all = CommAll::new(&g, &q);
+    assert!(all.next().is_some());
+    assert!(all.next().is_none());
+    assert!(all.next().is_none(), "CommAll must stay exhausted");
+    let mut topk = CommK::new(&g, &q);
+    assert!(topk.next().is_some());
+    assert!(topk.next().is_none());
+    assert!(topk.next().is_none(), "CommK must stay exhausted");
+}
+
+#[test]
+fn same_keyword_twice_yields_diagonal_cores() {
+    // Both dimensions match the same node set: cores pair every node with
+    // every reachable node, including itself.
+    let g = graph_from_edges(3, &[(0, 1, 1.0), (1, 0, 1.0)]);
+    let q = spec(&[&[0, 1], &[0, 1]], 2.0);
+    let mut cores: Vec<Vec<u32>> = comm_all(&g, &q)
+        .into_iter()
+        .map(|c| c.core.0.iter().map(|n| n.0).collect())
+        .collect();
+    cores.sort();
+    assert_eq!(cores, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+}
+
+#[test]
+fn disconnected_components_enumerate_independently() {
+    // Two disjoint 2-cliques, keywords on both sides.
+    let g = graph_from_edges(
+        4,
+        &[(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0)],
+    );
+    let q = spec(&[&[0, 2], &[1, 3]], 2.0);
+    let cores: Vec<Vec<u32>> = comm_k(&g, &q, 10)
+        .into_iter()
+        .map(|c| c.core.0.iter().map(|n| n.0).collect())
+        .collect();
+    // Cross-component cores ([0,3] or [2,1]) must not appear.
+    assert_eq!(cores.len(), 2);
+    assert!(cores.contains(&vec![0, 1]));
+    assert!(cores.contains(&vec![2, 3]));
+}
+
+#[test]
+fn parallel_edges_use_the_cheaper_one() {
+    let mut b = GraphBuilder::new(2);
+    b.add_edge(NodeId(0), NodeId(1), Weight::new(9.0));
+    b.add_edge(NodeId(0), NodeId(1), Weight::new(2.0));
+    let g = b.build();
+    let q = spec(&[&[1]], 5.0);
+    let all = comm_all(&g, &q);
+    assert_eq!(all.len(), 1);
+    // Node 0 is a center via the cheap edge.
+    assert!(all[0].centers.contains(&NodeId(0)));
+}
+
+#[test]
+fn zero_weight_edges_are_fine() {
+    let g = graph_from_edges(3, &[(0, 1, 0.0), (1, 2, 0.0)]);
+    let q = spec(&[&[2]], 0.0);
+    let all = comm_all(&g, &q);
+    assert_eq!(all.len(), 1);
+    // Everything is within radius 0 through zero-weight edges.
+    assert_eq!(all[0].centers.len(), 3);
+    assert_eq!(all[0].node_count(), 3);
+}
+
+#[test]
+fn very_large_l_on_small_graph() {
+    // l = 8 dimensions over a 3-node cycle: cross products stay correct.
+    let g = graph_from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+    let sets: Vec<&[u32]> = vec![&[0, 1, 2]; 8];
+    let q = spec(&sets, 3.0);
+    let pd: Vec<Weight> = CommK::new(&g, &q).map(|c| c.cost).collect();
+    assert_eq!(pd.len(), 3usize.pow(8));
+    let bu = bu_topk(&g, &q, 50, None);
+    assert_eq!(
+        bu.communities.iter().map(|c| c.cost).collect::<Vec<_>>(),
+        pd[..50].to_vec()
+    );
+}
+
+#[test]
+fn baselines_respect_cost_fn() {
+    let g = graph_from_edges(
+        5,
+        &[(0, 1, 1.0), (0, 2, 5.0), (3, 1, 3.0), (3, 2, 3.0), (4, 0, 1.0)],
+    );
+    // Keywords at 1 and 2. Sum cost: center 0 sums 6, center 3 sums 6.
+    // Max cost: center 3 (max 3) beats center 0 (max 5).
+    let q_sum = spec(&[&[1]], 6.0);
+    drop(q_sum);
+    let q = spec(&[&[1], &[2]], 6.0).with_cost(CostFn::MaxDistance);
+    let pd = comm_k(&g, &q, 1);
+    assert_eq!(pd[0].cost, Weight::new(3.0));
+    let bu = bu_topk(&g, &q, 1, None);
+    let td = td_topk(&g, &q, 1, None);
+    assert_eq!(bu.communities[0].cost, Weight::new(3.0));
+    assert_eq!(td.communities[0].cost, Weight::new(3.0));
+}
+
+#[test]
+fn projection_with_tiny_radius() {
+    let g = graph_from_edges(4, &[(0, 1, 2.0), (1, 2, 2.0), (2, 3, 2.0)]);
+    let idx = ProjectionIndex::build(
+        &g,
+        [("a", [NodeId(3)].as_slice()), ("b", [NodeId(1)].as_slice())],
+        Weight::new(2.0),
+    );
+    // Radius 2: nothing reaches both 3 and 1 → no centers → empty projection.
+    let pq = idx.project(&["a", "b"], Weight::new(2.0)).unwrap();
+    assert_eq!(comm_all(&pq.projected.graph, &pq.spec).len(), 0);
+}
+
+#[test]
+fn index_handles_keyword_with_no_nodes() {
+    let g = graph_from_edges(2, &[(0, 1, 1.0)]);
+    let idx = ProjectionIndex::build(
+        &g,
+        [("present", [NodeId(0)].as_slice()), ("ghost", [].as_slice())],
+        Weight::new(5.0),
+    );
+    assert_eq!(idx.nodes_of("ghost").len(), 0);
+    let pq = idx.project(&["present", "ghost"], Weight::new(5.0)).unwrap();
+    assert!(pq.spec.has_empty_keyword());
+    assert!(comm_all(&pq.projected.graph, &pq.spec).is_empty());
+}
+
+#[test]
+fn all_engines_agree_on_a_dense_clique() {
+    // Complete bidirected K5 with unit weights, keywords everywhere.
+    let mut b = GraphBuilder::new(5);
+    for u in 0..5u32 {
+        for v in 0..5u32 {
+            if u != v {
+                b.add_edge(NodeId(u), NodeId(v), Weight::new(1.0));
+            }
+        }
+    }
+    let g = b.build();
+    let q = spec(&[&[0, 1], &[2, 3], &[4]], 2.0);
+    let pd: Vec<Core> = comm_all(&g, &q).into_iter().map(|c| c.core).collect();
+    let bu: Vec<Core> = bu_all(&g, &q, None)
+        .communities
+        .into_iter()
+        .map(|c| c.core)
+        .collect();
+    let td: Vec<Core> = td_all(&g, &q, None)
+        .communities
+        .into_iter()
+        .map(|c| c.core)
+        .collect();
+    let norm = |mut v: Vec<Core>| {
+        v.sort();
+        v
+    };
+    let pd = norm(pd);
+    assert_eq!(pd.len(), 4, "2×2×1 cores in the clique");
+    assert_eq!(pd, norm(bu));
+    assert_eq!(pd, norm(td));
+}
+
+#[test]
+fn trees_respect_radius() {
+    let g = graph_from_edges(3, &[(0, 1, 4.0), (1, 2, 4.0)]);
+    // Root 0 reaches keyword node 2 at distance 8.
+    let q8 = spec(&[&[2]], 8.0);
+    assert!(topk_trees(&g, &q8, 10).iter().any(|t| t.root == NodeId(0)));
+    let q7 = spec(&[&[2]], 7.0);
+    assert!(!topk_trees(&g, &q7, 10).iter().any(|t| t.root == NodeId(0)));
+}
+
+#[test]
+fn trees_handle_zero_weight_edges() {
+    // Regression: a zero-weight edge makes a node settle before its path
+    // parent; tree materialization must still work (parent pointers, not
+    // witness re-scans). 0 --0--> 1 --5--> 2(keyword).
+    let g = graph_from_edges(3, &[(0, 1, 0.0), (1, 2, 5.0)]);
+    let q = spec(&[&[2]], 6.0);
+    let trees = topk_trees(&g, &q, 10);
+    let t0 = trees.iter().find(|t| t.root == NodeId(0)).expect("root 0");
+    assert_eq!(t0.weight, Weight::new(5.0));
+    assert_eq!(t0.nodes(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    // Path edges reconstruct the chain.
+    assert_eq!(t0.edges.len(), 2);
+}
+
+#[test]
+fn dijkstra_parent_pointers_reach_source() {
+    use comm_graph::{DijkstraEngine, Direction};
+    let g = graph_from_edges(5, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 4, 5.0)]);
+    let mut eng = DijkstraEngine::new(5);
+    let mut parent = [NodeId(0); 5];
+    let mut seen = [false; 5];
+    eng.run(&g, Direction::Forward, [NodeId(0)], Weight::INFINITY, |s| {
+        parent[s.node.index()] = s.parent;
+        seen[s.node.index()] = true;
+        assert_eq!(s.source, NodeId(0));
+    });
+    // Walk parents from node 3 back to the seed.
+    let mut u = NodeId(3);
+    let mut hops = 0;
+    while u != NodeId(0) {
+        assert!(seen[u.index()]);
+        u = parent[u.index()];
+        hops += 1;
+        assert!(hops <= 5, "parent chain must terminate");
+    }
+    assert_eq!(hops, 3);
+}
+
+#[test]
+fn community_iterator_count_is_stable_across_runs() {
+    // Determinism: two runs over the same inputs yield the same sequence.
+    let g = graph_from_edges(
+        6,
+        &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (3, 4, 2.0), (4, 5, 1.0), (5, 0, 2.0)],
+    );
+    let q = spec(&[&[0, 3], &[1, 4], &[2, 5]], 9.0);
+    let a: Vec<(Core, Weight)> = CommK::new(&g, &q).map(|c| (c.core, c.cost)).collect();
+    let b: Vec<(Core, Weight)> = CommK::new(&g, &q).map(|c| (c.core, c.cost)).collect();
+    assert_eq!(a, b);
+    let c: Vec<Core> = comm_all(&g, &q).into_iter().map(|c| c.core).collect();
+    let d: Vec<Core> = comm_all(&g, &q).into_iter().map(|c| c.core).collect();
+    assert_eq!(c, d);
+}

@@ -1,0 +1,233 @@
+//! Property tests: the polynomial-delay enumerators must agree with the
+//! exponential naive oracle on random graphs — completeness,
+//! duplication-freeness, cost correctness, rank order, and resumability.
+
+use comm_core::naive::{naive_all_cores, naive_community_nodes};
+use comm_core::{
+    bu_all, bu_topk, comm_all, get_community, td_all, td_topk, CommK, Core, CostFn, LawlerK,
+    ProjectionIndex, QuerySpec,
+};
+use comm_graph::{DijkstraEngine, Graph, GraphBuilder, NodeId, Weight};
+use proptest::prelude::*;
+
+/// A random sparse weighted digraph plus keyword sets and a radius.
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    edges: Vec<(u32, u32, u32)>,
+    keyword_nodes: Vec<Vec<u32>>,
+    rmax: u32,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (4usize..18, 1usize..4)
+        .prop_flat_map(|(n, l)| {
+            let edges = proptest::collection::vec(
+                (0..n as u32, 0..n as u32, 1u32..6),
+                0..(n * 3),
+            );
+            let keywords = proptest::collection::vec(
+                proptest::collection::vec(0..n as u32, 1..4),
+                l..=l,
+            );
+            (Just(n), edges, keywords, 2u32..14)
+        })
+        .prop_map(|(n, edges, keyword_nodes, rmax)| Scenario {
+            n,
+            edges,
+            keyword_nodes,
+            rmax,
+        })
+}
+
+fn build(s: &Scenario) -> (Graph, QuerySpec) {
+    let mut b = GraphBuilder::new(s.n);
+    for &(u, v, w) in &s.edges {
+        b.add_edge(NodeId(u), NodeId(v), Weight::from(w));
+    }
+    let spec = QuerySpec::new(
+        s.keyword_nodes
+            .iter()
+            .map(|set| set.iter().map(|&v| NodeId(v)).collect())
+            .collect(),
+        Weight::from(s.rmax),
+    );
+    (b.build(), spec)
+}
+
+fn sorted_cores(cores: impl IntoIterator<Item = Core>) -> Vec<Core> {
+    let mut v: Vec<Core> = cores.into_iter().collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// COMM-all is complete and duplication-free: its core set equals the
+    /// naive oracle's exactly.
+    #[test]
+    fn comm_all_equals_naive(s in scenario()) {
+        let (g, spec) = build(&s);
+        let expect = sorted_cores(naive_all_cores(&g, &spec).into_iter().map(|(c, _)| c));
+        let got_list: Vec<Core> = comm_all(&g, &spec).into_iter().map(|c| c.core).collect();
+        let deduped = {
+            let mut v = got_list.clone();
+            v.sort();
+            let before = v.len();
+            v.dedup();
+            prop_assert_eq!(before, v.len(), "COMM-all emitted a duplicate core");
+            v
+        };
+        prop_assert_eq!(deduped, expect);
+    }
+
+    /// COMM-k emits the same core set, in non-decreasing true-cost order,
+    /// with per-community costs matching the oracle.
+    #[test]
+    fn comm_k_equals_naive_in_rank_order(s in scenario()) {
+        let (g, spec) = build(&s);
+        let expect = naive_all_cores(&g, &spec);
+        let got: Vec<(Core, Weight)> = CommK::new(&g, &spec).map(|c| (c.core, c.cost)).collect();
+        prop_assert_eq!(got.len(), expect.len());
+        // Cost sequence identical (ties may order differently, so compare
+        // the cost vectors and the core sets separately).
+        let costs_got: Vec<Weight> = got.iter().map(|&(_, w)| w).collect();
+        let costs_expect: Vec<Weight> = expect.iter().map(|&(_, w)| w).collect();
+        prop_assert_eq!(costs_got, costs_expect);
+        let a = sorted_cores(got.into_iter().map(|(c, _)| c));
+        let b = sorted_cores(expect.into_iter().map(|(c, _)| c));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Stopping and resuming CommK at an arbitrary point changes nothing.
+    #[test]
+    fn comm_k_resume_invariance(s in scenario(), split in 0usize..6) {
+        let (g, spec) = build(&s);
+        let oneshot: Vec<Core> = CommK::new(&g, &spec).map(|c| c.core).collect();
+        let mut it = CommK::new(&g, &spec);
+        let mut resumed: Vec<Core> = it.by_ref().take(split).map(|c| c.core).collect();
+        resumed.extend(it.map(|c| c.core));
+        prop_assert_eq!(resumed, oneshot);
+    }
+
+    /// GetCommunity's role assignment matches the brute-force definition.
+    #[test]
+    fn get_community_matches_definition(s in scenario()) {
+        let (g, spec) = build(&s);
+        let mut engine = DijkstraEngine::new(g.node_count());
+        for (core, cost) in naive_all_cores(&g, &spec).into_iter().take(8) {
+            let c = get_community(&g, &mut engine, &core, spec.rmax)
+                .expect("oracle core has a center");
+            prop_assert_eq!(c.cost, cost, "cost mismatch for {:?}", &c.core);
+            let (centers, members) = naive_community_nodes(&g, &core, spec.rmax);
+            prop_assert_eq!(&c.centers, &centers);
+            prop_assert_eq!(c.nodes(), &members[..]);
+            // Role partition: knodes ∪ centers ∪ pnodes = members.
+            let mut roles: Vec<NodeId> = c
+                .knodes.iter().chain(&c.centers).chain(&c.path_nodes).copied().collect();
+            roles.sort_unstable();
+            roles.dedup();
+            prop_assert_eq!(roles, members);
+        }
+    }
+
+    /// Both expanding baselines agree with the oracle on the core set.
+    #[test]
+    fn baselines_equal_naive(s in scenario()) {
+        let (g, spec) = build(&s);
+        let expect = sorted_cores(naive_all_cores(&g, &spec).into_iter().map(|(c, _)| c));
+        let bu = sorted_cores(bu_all(&g, &spec, None).communities.into_iter().map(|c| c.core));
+        let td = sorted_cores(td_all(&g, &spec, None).communities.into_iter().map(|c| c.core));
+        prop_assert_eq!(&bu, &expect, "bottom-up disagrees with oracle");
+        prop_assert_eq!(&td, &expect, "top-down disagrees with oracle");
+    }
+
+    /// The baselines' top-k cost sequences match the polynomial-delay one.
+    #[test]
+    fn baseline_topk_order_matches_pdk(s in scenario(), k in 1usize..8) {
+        let (g, spec) = build(&s);
+        let pd: Vec<Weight> = CommK::new(&g, &spec).take(k).map(|c| c.cost).collect();
+        let bu: Vec<Weight> = bu_topk(&g, &spec, k, None).communities.iter().map(|c| c.cost).collect();
+        let td: Vec<Weight> = td_topk(&g, &spec, k, None).communities.iter().map(|c| c.cost).collect();
+        prop_assert_eq!(&bu, &pd);
+        prop_assert_eq!(&td, &pd);
+    }
+
+    /// The naive Lawler procedure produces the exact same enumeration as
+    /// COMM-k (it only lacks the sweep sharing).
+    #[test]
+    fn lawler_equals_comm_k(s in scenario()) {
+        let (g, spec) = build(&s);
+        let ours: Vec<(Core, Weight)> = CommK::new(&g, &spec).map(|c| (c.core, c.cost)).collect();
+        let lawler: Vec<(Core, Weight)> = LawlerK::new(&g, &spec).map(|c| (c.core, c.cost)).collect();
+        prop_assert_eq!(ours, lawler);
+    }
+
+    /// The MaxDistance cost function: same result set, correct ordering,
+    /// across enumerators and the oracle.
+    #[test]
+    fn max_distance_cost_agrees_with_oracle(s in scenario()) {
+        let (g, spec) = build(&s);
+        let spec = spec.with_cost(CostFn::MaxDistance);
+        let expect = naive_all_cores(&g, &spec);
+        let got: Vec<(Core, Weight)> = CommK::new(&g, &spec).map(|c| (c.core, c.cost)).collect();
+        prop_assert_eq!(got.len(), expect.len());
+        let costs_got: Vec<Weight> = got.iter().map(|&(_, w)| w).collect();
+        let costs_expect: Vec<Weight> = expect.iter().map(|&(_, w)| w).collect();
+        prop_assert_eq!(costs_got, costs_expect);
+        prop_assert_eq!(
+            sorted_cores(got.into_iter().map(|(c, _)| c)),
+            sorted_cores(expect.into_iter().map(|(c, _)| c))
+        );
+        // Baselines under the same cost function agree too.
+        let k = 6;
+        let pd: Vec<Weight> = CommK::new(&g, &spec).take(k).map(|c| c.cost).collect();
+        let bu: Vec<Weight> = bu_topk(&g, &spec, k, None).communities.iter().map(|c| c.cost).collect();
+        prop_assert_eq!(bu, pd);
+    }
+
+    /// Projection (Sec. VI): enumerating on the projected graph yields
+    /// exactly the communities of the full graph, including costs.
+    #[test]
+    fn projection_preserves_results(s in scenario(), slack in 0u32..4) {
+        let (g, spec) = build(&s);
+        let index_radius = spec.rmax + Weight::from(slack);
+        let names: Vec<String> = (0..spec.l()).map(|i| format!("kw{i}")).collect();
+        let idx = ProjectionIndex::build(
+            &g,
+            names
+                .iter()
+                .zip(&spec.keyword_nodes)
+                .map(|(n, v)| (n.as_str(), v.as_slice())),
+            index_radius,
+        );
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let pq = idx.project(&name_refs, spec.rmax).expect("all keywords indexed");
+        let full: Vec<(Core, Weight)> = naive_all_cores(&g, &spec);
+        let mut projected: Vec<(Core, Weight)> = comm_all(&pq.projected.graph, &pq.spec)
+            .into_iter()
+            .map(|c| {
+                (
+                    Core(c.core.0.iter().map(|&n| pq.projected.to_original(n)).collect()),
+                    c.cost,
+                )
+            })
+            .collect();
+        projected.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        prop_assert_eq!(projected, full);
+    }
+
+    /// Monotonicity: growing the radius can only add communities.
+    #[test]
+    fn radius_monotonicity(s in scenario()) {
+        let (g, spec) = build(&s);
+        let small = sorted_cores(naive_all_cores(&g, &spec).into_iter().map(|(c, _)| c));
+        let mut bigger = spec.clone();
+        bigger.rmax = spec.rmax + Weight::from(3u32);
+        let large = sorted_cores(comm_all(&g, &bigger).into_iter().map(|c| c.core));
+        for c in &small {
+            prop_assert!(large.binary_search(c).is_ok(), "lost {c:?} when radius grew");
+        }
+    }
+}

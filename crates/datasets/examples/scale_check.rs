@@ -1,0 +1,22 @@
+//! Timing probe: generation cost at paper scale.
+use comm_datasets::{generate_dblp, generate_imdb, DblpConfig, ImdbConfig};
+use std::time::Instant;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "dblp".into());
+    let t0 = Instant::now();
+    let ds = if which == "imdb" {
+        generate_imdb(&ImdbConfig::paper_scale())
+    } else if let Ok(f) = which.parse::<f64>() {
+        generate_dblp(&DblpConfig::default().scaled(f))
+    } else {
+        generate_dblp(&DblpConfig::paper_scale())
+    };
+    println!(
+        "{}: {} tuples, {} edges in {:?}",
+        ds.name,
+        ds.db.tuple_count(),
+        ds.graph.graph.edge_count(),
+        t0.elapsed()
+    );
+}

@@ -1,0 +1,173 @@
+//! On-disk caching of materialized query bundles.
+//!
+//! A *bundle* is everything the search layer needs from a dataset: the
+//! database graph plus the keyword → node-set map. Paper-scale generation
+//! takes ~a minute; loading the cached bundle takes ~a second, so the
+//! benchmark harness caches bundles keyed by configuration (see
+//! `comm-bench`'s `COMM_BENCH_CACHE`).
+
+use comm_graph::io::{read_graph, write_graph};
+use comm_graph::{Graph, NodeId};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: [u8; 4] = *b"CBDL";
+const VERSION: u32 = 1;
+
+/// A graph plus its keyword map, as loaded from a cache file.
+pub struct GraphBundle {
+    /// The database graph.
+    pub graph: Graph,
+    /// Keyword → sorted node ids.
+    pub keyword_nodes: HashMap<String, Vec<NodeId>>,
+}
+
+impl GraphBundle {
+    /// The nodes for a keyword (empty if unknown).
+    pub fn keyword_nodes(&self, keyword: &str) -> &[NodeId] {
+        self.keyword_nodes
+            .get(&keyword.to_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Saves a bundle: the graph and the given `(keyword, nodes)` pairs.
+pub fn save_bundle<'a>(
+    path: impl AsRef<Path>,
+    graph: &Graph,
+    keywords: impl IntoIterator<Item = (&'a str, &'a [NodeId])>,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    let entries: Vec<(&str, &[NodeId])> = keywords.into_iter().collect();
+    w.write_all(&(entries.len() as u32).to_le_bytes())?;
+    for (kw, nodes) in entries {
+        let bytes = kw.as_bytes();
+        w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        w.write_all(bytes)?;
+        w.write_all(&(nodes.len() as u32).to_le_bytes())?;
+        for n in nodes {
+            w.write_all(&n.0.to_le_bytes())?;
+        }
+    }
+    write_graph(graph, &mut w)?;
+    w.flush()
+}
+
+/// Loads a bundle written by [`save_bundle`].
+pub fn load_bundle(path: impl AsRef<Path>) -> io::Result<GraphBundle> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(bad("not a CBDL bundle file"));
+    }
+    let mut v4 = [0u8; 4];
+    r.read_exact(&mut v4)?;
+    if u32::from_le_bytes(v4) != VERSION {
+        return Err(bad("unsupported CBDL version"));
+    }
+    r.read_exact(&mut v4)?;
+    let count = u32::from_le_bytes(v4) as usize;
+    let mut keyword_nodes = HashMap::with_capacity(count);
+    for _ in 0..count {
+        r.read_exact(&mut v4)?;
+        let len = u32::from_le_bytes(v4) as usize;
+        if len > 1 << 20 {
+            return Err(bad("implausible keyword length"));
+        }
+        let mut buf = vec![0u8; len];
+        r.read_exact(&mut buf)?;
+        let kw = String::from_utf8(buf).map_err(|_| bad("keyword is not UTF-8"))?;
+        r.read_exact(&mut v4)?;
+        let n = u32::from_le_bytes(v4) as usize;
+        let mut nodes = Vec::with_capacity(n.min(1 << 24));
+        for _ in 0..n {
+            r.read_exact(&mut v4)?;
+            nodes.push(NodeId(u32::from_le_bytes(v4)));
+        }
+        keyword_nodes.insert(kw, nodes);
+    }
+    let graph = read_graph(&mut r)?;
+    for nodes in keyword_nodes.values() {
+        if nodes.iter().any(|n| n.index() >= graph.node_count()) {
+            return Err(bad("keyword node out of graph range"));
+        }
+    }
+    Ok(GraphBundle {
+        graph,
+        keyword_nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comm_graph::graph_from_edges;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("comm_datasets_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn bundle_roundtrip() {
+        let g = graph_from_edges(4, &[(0, 1, 1.0), (1, 2, 2.5), (3, 0, 4.0)]);
+        let path = tmp("b1.cbdl");
+        save_bundle(
+            &path,
+            &g,
+            [
+                ("alpha", [NodeId(0), NodeId(2)].as_slice()),
+                ("beta", [NodeId(3)].as_slice()),
+            ],
+        )
+        .unwrap();
+        let b = load_bundle(&path).unwrap();
+        assert_eq!(b.graph.edge_count(), 3);
+        assert_eq!(b.keyword_nodes("alpha"), &[NodeId(0), NodeId(2)]);
+        assert_eq!(b.keyword_nodes("beta"), &[NodeId(3)]);
+        assert_eq!(b.keyword_nodes("missing"), &[] as &[NodeId]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("b2.cbdl");
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(load_bundle(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_out_of_range_keyword_node() {
+        let g = graph_from_edges(2, &[(0, 1, 1.0)]);
+        let path = tmp("b3.cbdl");
+        save_bundle(&path, &g, [("kw", [NodeId(9)].as_slice())]).unwrap();
+        assert!(load_bundle(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn generated_dataset_bundle_roundtrip() {
+        let ds = crate::generate_dblp(&crate::DblpConfig::default().scaled(0.05));
+        let path = tmp("b4.cbdl");
+        let kws: Vec<(&str, &[NodeId])> = vec![
+            ("database", ds.graph.keyword_nodes("database")),
+            ("fuzzy", ds.graph.keyword_nodes("fuzzy")),
+        ];
+        save_bundle(&path, &ds.graph.graph, kws).unwrap();
+        let b = load_bundle(&path).unwrap();
+        assert_eq!(b.graph.node_count(), ds.graph.graph.node_count());
+        assert_eq!(b.keyword_nodes("database"), ds.graph.keyword_nodes("database"));
+        std::fs::remove_file(&path).ok();
+    }
+}

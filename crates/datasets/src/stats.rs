@@ -1,0 +1,135 @@
+//! Dataset statistics: the numbers DESIGN.md's substitution argument rests
+//! on (degree shape, density, keyword frequencies), computed from any
+//! generated dataset so the calibration is checkable rather than asserted.
+
+use crate::dblp::GeneratedDataset;
+use comm_graph::Graph;
+
+/// Summary of a degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: usize,
+    /// Share of total degree held by the top 1% of nodes (tail heaviness;
+    /// 0.01 would be perfectly uniform).
+    pub top1_share: f64,
+}
+
+/// Summarizes the out-degree (== in-degree for bi-directed graphs)
+/// distribution of a graph.
+pub fn degree_summary(graph: &Graph) -> DegreeSummary {
+    let n = graph.node_count().max(1);
+    let mut degrees: Vec<usize> = graph.nodes().map(|u| graph.out_degree(u)).collect();
+    degrees.sort_unstable_by(|a, b| b.cmp(a));
+    let total: usize = degrees.iter().sum();
+    let top = degrees.len().div_ceil(100);
+    let top_sum: usize = degrees.iter().take(top).sum();
+    DegreeSummary {
+        mean: total as f64 / n as f64,
+        max: degrees.first().copied().unwrap_or(0),
+        top1_share: if total == 0 {
+            0.0
+        } else {
+            top_sum as f64 / total as f64
+        },
+    }
+}
+
+/// Whole-dataset calibration report.
+#[derive(Clone, Debug)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Tuples / nodes.
+    pub tuples: usize,
+    /// Directed edges.
+    pub edges: usize,
+    /// Edges per node.
+    pub density: f64,
+    /// Degree distribution summary.
+    pub degrees: DegreeSummary,
+    /// `(keyword, measured KWF)` for every tracked keyword.
+    pub keyword_frequencies: Vec<(String, f64)>,
+}
+
+/// Computes the calibration report for a generated dataset, checking the
+/// given keywords.
+pub fn dataset_stats(ds: &GeneratedDataset, keywords: &[&str]) -> DatasetStats {
+    let g = &ds.graph.graph;
+    DatasetStats {
+        name: ds.name,
+        tuples: ds.db.tuple_count(),
+        edges: g.edge_count(),
+        density: g.edge_count() as f64 / g.node_count().max(1) as f64,
+        degrees: degree_summary(g),
+        keyword_frequencies: keywords
+            .iter()
+            .map(|&kw| (kw.to_owned(), ds.graph.keyword_frequency(kw)))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dblp::{generate_dblp, DblpConfig};
+    use crate::imdb::{generate_imdb, ImdbConfig};
+    use comm_graph::graph_from_edges;
+
+    #[test]
+    fn degree_summary_on_star() {
+        // Star: center has degree 9, leaves 0.
+        let edges: Vec<(u32, u32, f64)> = (1..10).map(|v| (0, v, 1.0)).collect();
+        let g = graph_from_edges(10, &edges);
+        let s = degree_summary(&g);
+        assert_eq!(s.max, 9);
+        assert!((s.mean - 0.9).abs() < 1e-12);
+        assert_eq!(s.top1_share, 1.0); // top 1% (= 1 node) holds everything
+    }
+
+    #[test]
+    fn empty_graph_summary() {
+        let g = graph_from_edges(0, &[]);
+        let s = degree_summary(&g);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.top1_share, 0.0);
+    }
+
+    #[test]
+    fn dblp_calibration_shape() {
+        let ds = generate_dblp(&DblpConfig::default().scaled(0.2));
+        let stats = dataset_stats(&ds, &["database", "scalable"]);
+        // Paper: 2 × 5,076,826 / 4,121,120 ≈ 2.46 directed edges per node.
+        assert!(
+            (stats.density - 2.46).abs() < 0.3,
+            "density {} should be ≈ 2.46",
+            stats.density
+        );
+        // Long-tailed: top 1% of nodes holds far more than 1% of degree.
+        assert!(stats.degrees.top1_share > 0.03);
+        // Planted KWFs are on target.
+        for (kw, f) in &stats.keyword_frequencies {
+            let target = if kw == "database" { 0.0009 } else { 0.0003 };
+            // ("database" sits in the .0009 bucket, "scalable" in .0003.)
+            // Planting counts are integral, so allow ±1 planting of slack.
+            let slack = target * 0.15 + 1.0 / stats.tuples as f64;
+            assert!(
+                (f - target).abs() <= slack,
+                "{kw}: measured {f}, target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn imdb_denser_than_dblp_in_stats() {
+        let imdb = generate_imdb(&ImdbConfig::default().scaled(0.3));
+        let dblp = generate_dblp(&DblpConfig::default().scaled(0.1));
+        let si = dataset_stats(&imdb, &[]);
+        let sd = dataset_stats(&dblp, &[]);
+        assert!(si.density > sd.density);
+        // Paper: IMDB 4,000,836 / 1,010,132 ≈ 3.96 edges per node.
+        assert!((si.density - 3.96).abs() < 0.3, "imdb density {}", si.density);
+    }
+}

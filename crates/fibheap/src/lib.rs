@@ -1,0 +1,609 @@
+//! A classic Fibonacci heap (Fredman & Tarjan) with `O(1)` amortized
+//! `push`/`decrease_key`/`meld` and `O(log n)` amortized `pop_min`.
+//!
+//! The ICDE'09 community-search paper uses a Fibonacci heap to order the
+//! *can-list* of core candidates in `COMM-k` (its Algorithm 5 relies on
+//! `enheap` being `O(1)` and `deheap` being `O(log(p·l))`), and the same
+//! structure doubles as a priority queue for Dijkstra with decrease-key.
+//!
+//! Nodes live in a slab arena; [`FibHeap::push`] returns a [`NodeRef`]
+//! handle that stays valid until the node is popped or the heap cleared.
+//! Handles are generation-checked, so using a stale handle returns an error
+//! instead of corrupting the heap.
+//!
+//! # Example
+//! ```
+//! use comm_fibheap::FibHeap;
+//!
+//! let mut h = FibHeap::new();
+//! let a = h.push(5u64, "a");
+//! let _b = h.push(3, "b");
+//! h.decrease_key(a, 1).unwrap();
+//! assert_eq!(h.pop_min().map(|(k, v)| (k, v)), Some((1, "a")));
+//! assert_eq!(h.pop_min().map(|(k, v)| (k, v)), Some((3, "b")));
+//! assert!(h.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Sentinel for "no node".
+const NIL: u32 = u32::MAX;
+
+/// A handle to a live heap node, returned by [`FibHeap::push`].
+///
+/// The handle is invalidated when its node is popped; a stale handle is
+/// detected via a generation counter and rejected by the mutating methods.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeRef {
+    slot: u32,
+    gen: u32,
+}
+
+impl fmt::Debug for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeRef({}@{})", self.slot, self.gen)
+    }
+}
+
+/// Errors returned by handle-based operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// The handle refers to a node that was already removed.
+    StaleHandle,
+    /// `decrease_key` was called with a key greater than the current key.
+    KeyNotDecreased,
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::StaleHandle => write!(f, "stale Fibonacci-heap handle"),
+            HeapError::KeyNotDecreased => {
+                write!(f, "decrease_key called with a larger key")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+struct Node<K, V> {
+    /// `Some` while the node is live; taken on pop so slots stay stable
+    /// (handle slots are never relocated).
+    data: Option<(K, V)>,
+    parent: u32,
+    child: u32,
+    left: u32,
+    right: u32,
+    degree: u32,
+    gen: u32,
+    mark: bool,
+}
+
+/// A min-ordered Fibonacci heap mapping keys `K` to payloads `V`.
+pub struct FibHeap<K, V> {
+    nodes: Vec<Node<K, V>>,
+    free: Vec<u32>,
+    min: u32,
+    len: usize,
+}
+
+impl<K: Ord, V> Default for FibHeap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V> FibHeap<K, V> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        FibHeap {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            min: NIL,
+            len: 0,
+        }
+    }
+
+    /// Creates an empty heap with room for `cap` nodes.
+    pub fn with_capacity(cap: usize) -> Self {
+        FibHeap {
+            nodes: Vec::with_capacity(cap),
+            free: Vec::new(),
+            min: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of elements currently in the heap.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every element. Outstanding handles all become stale.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.min = NIL;
+        self.len = 0;
+    }
+
+    fn alloc(&mut self, key: K, value: V) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            let gen = self.nodes[slot as usize].gen;
+            self.nodes[slot as usize] = Node {
+                data: Some((key, value)),
+                parent: NIL,
+                child: NIL,
+                left: slot,
+                right: slot,
+                degree: 0,
+                gen,
+                mark: false,
+            };
+            slot
+        } else {
+            let slot = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                data: Some((key, value)),
+                parent: NIL,
+                child: NIL,
+                left: slot,
+                right: slot,
+                degree: 0,
+                gen: 0,
+                mark: false,
+            });
+            slot
+        }
+    }
+
+    #[inline]
+    fn key_of(&self, i: u32) -> &K {
+        &self.nodes[i as usize].data.as_ref().expect("live node").0
+    }
+
+    /// Splices node `x` (a singleton ring) into the ring containing `at`.
+    fn splice_into_ring(&mut self, at: u32, x: u32) {
+        let at_right = self.nodes[at as usize].right;
+        self.nodes[x as usize].left = at;
+        self.nodes[x as usize].right = at_right;
+        self.nodes[at as usize].right = x;
+        self.nodes[at_right as usize].left = x;
+    }
+
+    /// Unlinks node `x` from its sibling ring, leaving it a singleton.
+    fn unlink(&mut self, x: u32) {
+        let l = self.nodes[x as usize].left;
+        let r = self.nodes[x as usize].right;
+        self.nodes[l as usize].right = r;
+        self.nodes[r as usize].left = l;
+        self.nodes[x as usize].left = x;
+        self.nodes[x as usize].right = x;
+    }
+
+    /// Inserts `(key, value)` and returns a handle to the new node.
+    /// Amortized `O(1)`.
+    pub fn push(&mut self, key: K, value: V) -> NodeRef {
+        let slot = self.alloc(key, value);
+        if self.min == NIL {
+            self.min = slot;
+        } else {
+            self.splice_into_ring(self.min, slot);
+            if self.key_of(slot) < self.key_of(self.min) {
+                self.min = slot;
+            }
+        }
+        self.len += 1;
+        NodeRef {
+            slot,
+            gen: self.nodes[slot as usize].gen,
+        }
+    }
+
+    /// Returns the minimum key/value without removing it.
+    pub fn peek_min(&self) -> Option<(&K, &V)> {
+        if self.min == NIL {
+            None
+        } else {
+            let (k, v) = self.nodes[self.min as usize].data.as_ref()?;
+            Some((k, v))
+        }
+    }
+
+    fn check(&self, r: NodeRef) -> Result<(), HeapError> {
+        let n = self
+            .nodes
+            .get(r.slot as usize)
+            .ok_or(HeapError::StaleHandle)?;
+        if n.data.is_none() || n.gen != r.gen {
+            return Err(HeapError::StaleHandle);
+        }
+        Ok(())
+    }
+
+    /// Reads the key of a live node.
+    pub fn key(&self, r: NodeRef) -> Result<&K, HeapError> {
+        self.check(r)?;
+        Ok(self.key_of(r.slot))
+    }
+
+    /// Reads the payload of a live node.
+    pub fn value(&self, r: NodeRef) -> Result<&V, HeapError> {
+        self.check(r)?;
+        Ok(&self.nodes[r.slot as usize].data.as_ref().expect("live node").1)
+    }
+
+    /// Cuts `x` from its parent and moves it to the root ring.
+    fn cut(&mut self, x: u32, parent: u32) {
+        // Fix parent's child pointer / degree.
+        if self.nodes[parent as usize].child == x {
+            let r = self.nodes[x as usize].right;
+            self.nodes[parent as usize].child = if r == x { NIL } else { r };
+        }
+        self.unlink(x);
+        self.nodes[parent as usize].degree -= 1;
+        self.nodes[x as usize].parent = NIL;
+        self.nodes[x as usize].mark = false;
+        self.splice_into_ring(self.min, x);
+    }
+
+    fn cascading_cut(&mut self, mut y: u32) {
+        loop {
+            let p = self.nodes[y as usize].parent;
+            if p == NIL {
+                return;
+            }
+            if !self.nodes[y as usize].mark {
+                self.nodes[y as usize].mark = true;
+                return;
+            }
+            self.cut(y, p);
+            y = p;
+        }
+    }
+
+    /// Lowers the key of the node behind `r` to `new_key`.
+    /// Amortized `O(1)`. Fails if the handle is stale or the key larger.
+    pub fn decrease_key(&mut self, r: NodeRef, new_key: K) -> Result<(), HeapError> {
+        self.check(r)?;
+        let x = r.slot;
+        if &new_key > self.key_of(x) {
+            return Err(HeapError::KeyNotDecreased);
+        }
+        self.nodes[x as usize].data.as_mut().expect("live node").0 = new_key;
+        let parent = self.nodes[x as usize].parent;
+        if parent != NIL && self.key_of(x) < self.key_of(parent) {
+            self.cut(x, parent);
+            self.cascading_cut(parent);
+        }
+        if self.key_of(x) < self.key_of(self.min) {
+            self.min = x;
+        }
+        Ok(())
+    }
+
+    /// Removes and returns the minimum `(key, value)`.
+    /// Amortized `O(log n)`.
+    pub fn pop_min(&mut self) -> Option<(K, V)> {
+        if self.min == NIL {
+            return None;
+        }
+        let z = self.min;
+
+        // Promote z's children to the root ring.
+        let mut child = self.nodes[z as usize].child;
+        while child != NIL {
+            let next = {
+                let r = self.nodes[child as usize].right;
+                if r == child {
+                    NIL
+                } else {
+                    r
+                }
+            };
+            self.unlink(child);
+            self.nodes[child as usize].parent = NIL;
+            self.nodes[child as usize].mark = false;
+            self.splice_into_ring(z, child);
+            child = next;
+        }
+        self.nodes[z as usize].child = NIL;
+
+        // Remove z from the root ring.
+        let ring_rest = {
+            let r = self.nodes[z as usize].right;
+            if r == z {
+                NIL
+            } else {
+                r
+            }
+        };
+        self.unlink(z);
+        self.len -= 1;
+
+        if ring_rest == NIL {
+            self.min = NIL;
+        } else {
+            self.min = ring_rest;
+            self.consolidate(ring_rest);
+        }
+
+        // Retire slot z: take the payload, bump the generation so stale
+        // handles are detected, and recycle the slot.
+        let node = &mut self.nodes[z as usize];
+        let data = node.data.take().expect("popped node was live");
+        node.gen = node.gen.wrapping_add(1);
+        self.free.push(z);
+        Some(data)
+    }
+
+    fn consolidate(&mut self, start: u32) {
+        // Collect roots first (the ring is mutated during linking).
+        let mut roots = Vec::new();
+        let mut cur = start;
+        loop {
+            roots.push(cur);
+            cur = self.nodes[cur as usize].right;
+            if cur == start {
+                break;
+            }
+        }
+
+        let max_degree = 2 + (usize::BITS - (self.len.max(1)).leading_zeros()) as usize * 2;
+        let mut by_degree: Vec<u32> = vec![NIL; max_degree + 2];
+
+        for mut x in roots {
+            let mut d = self.nodes[x as usize].degree as usize;
+            while by_degree[d] != NIL {
+                let mut y = by_degree[d];
+                by_degree[d] = NIL;
+                if self.key_of(y) < self.key_of(x) {
+                    std::mem::swap(&mut x, &mut y);
+                }
+                // Link y under x.
+                self.unlink(y);
+                self.nodes[y as usize].parent = x;
+                self.nodes[y as usize].mark = false;
+                let c = self.nodes[x as usize].child;
+                if c == NIL {
+                    self.nodes[x as usize].child = y;
+                } else {
+                    self.splice_into_ring(c, y);
+                }
+                self.nodes[x as usize].degree += 1;
+                d += 1;
+            }
+            by_degree[d] = x;
+        }
+
+        // Find new min among the remaining roots.
+        let mut min = NIL;
+        for &root in by_degree.iter() {
+            if root == NIL {
+                continue;
+            }
+            if min == NIL || self.key_of(root) < self.key_of(min) {
+                min = root;
+            }
+        }
+        self.min = min;
+    }
+
+    /// Drains the heap in ascending key order.
+    pub fn into_sorted_vec(mut self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len);
+        while let Some(kv) = self.pop_min() {
+            out.push(kv);
+        }
+        out
+    }
+}
+
+impl<K: Ord + fmt::Debug, V> fmt::Debug for FibHeap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FibHeap(len={}", self.len)?;
+        if let Some((k, _)) = self.peek_min() {
+            write!(f, ", min={k:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_heap() {
+        let mut h: FibHeap<u32, ()> = FibHeap::new();
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.peek_min(), None);
+        assert_eq!(h.pop_min(), None);
+    }
+
+    #[test]
+    fn push_pop_ordering() {
+        let mut h = FibHeap::new();
+        for k in [5, 1, 4, 2, 3] {
+            h.push(k, k * 10);
+        }
+        assert_eq!(h.len(), 5);
+        let out: Vec<_> = h.into_sorted_vec();
+        assert_eq!(out, vec![(1, 10), (2, 20), (3, 30), (4, 40), (5, 50)]);
+    }
+
+    #[test]
+    fn duplicate_keys() {
+        let mut h = FibHeap::new();
+        h.push(1, "a");
+        h.push(1, "b");
+        h.push(0, "c");
+        assert_eq!(h.pop_min().unwrap().0, 0);
+        assert_eq!(h.pop_min().unwrap().0, 1);
+        assert_eq!(h.pop_min().unwrap().0, 1);
+    }
+
+    #[test]
+    fn decrease_key_moves_to_front() {
+        let mut h = FibHeap::new();
+        let _a = h.push(10, "a");
+        let b = h.push(20, "b");
+        h.push(5, "c");
+        // Force some tree structure.
+        assert_eq!(h.pop_min().unwrap().1, "c");
+        h.decrease_key(b, 1).unwrap();
+        assert_eq!(h.pop_min().unwrap(), (1, "b"));
+        assert_eq!(h.pop_min().unwrap(), (10, "a"));
+    }
+
+    #[test]
+    fn decrease_key_rejects_increase() {
+        let mut h = FibHeap::new();
+        let a = h.push(10, ());
+        assert_eq!(h.decrease_key(a, 11), Err(HeapError::KeyNotDecreased));
+        // Equal key is allowed (no-op).
+        assert_eq!(h.decrease_key(a, 10), Ok(()));
+    }
+
+    #[test]
+    fn stale_handle_detected() {
+        let mut h = FibHeap::new();
+        let a = h.push(1, ());
+        assert_eq!(h.pop_min(), Some((1, ())));
+        assert_eq!(h.decrease_key(a, 0), Err(HeapError::StaleHandle));
+        assert_eq!(h.key(a), Err(HeapError::StaleHandle));
+    }
+
+    #[test]
+    fn handle_reads() {
+        let mut h = FibHeap::new();
+        let a = h.push(7, "x");
+        assert_eq!(h.key(a), Ok(&7));
+        assert_eq!(h.value(a), Ok(&"x"));
+    }
+
+    #[test]
+    fn clear_invalidates() {
+        let mut h = FibHeap::new();
+        let a = h.push(7, "x");
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.key(a), Err(HeapError::StaleHandle));
+        // Heap remains usable.
+        h.push(3, "y");
+        assert_eq!(h.pop_min(), Some((3, "y")));
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut h = FibHeap::new();
+        h.push(4, 4);
+        h.push(2, 2);
+        assert_eq!(h.pop_min().unwrap().0, 2);
+        h.push(1, 1);
+        h.push(3, 3);
+        assert_eq!(h.pop_min().unwrap().0, 1);
+        assert_eq!(h.pop_min().unwrap().0, 3);
+        assert_eq!(h.pop_min().unwrap().0, 4);
+        assert!(h.pop_min().is_none());
+    }
+
+    #[test]
+    fn slot_reuse_after_pop() {
+        let mut h = FibHeap::new();
+        for i in 0..100 {
+            h.push(i, i);
+        }
+        for i in 0..50 {
+            assert_eq!(h.pop_min().unwrap().0, i);
+        }
+        for i in 0..50 {
+            h.push(i, i);
+        }
+        let out = h.into_sorted_vec();
+        let keys: Vec<_> = out.iter().map(|&(k, _)| k).collect();
+        let mut expect: Vec<_> = (0..50).chain(50..100).collect();
+        expect.sort_unstable();
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn heap_sort_large_random() {
+        // Deterministic LCG so the test needs no rand dependency wiring here.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut h = FibHeap::new();
+        let mut keys = Vec::new();
+        for _ in 0..5000 {
+            let k = next() % 10_000;
+            keys.push(k);
+            h.push(k, ());
+        }
+        keys.sort_unstable();
+        let drained: Vec<u32> = h.into_sorted_vec().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(drained, keys);
+    }
+
+    #[test]
+    fn decrease_key_stress_matches_reference() {
+        // Mirror operations against a simple sorted-vec reference model.
+        let mut state = 0xDEAD_BEEF_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut h = FibHeap::new();
+        let mut live: Vec<(NodeRef, u32)> = Vec::new();
+        let mut model: Vec<u32> = Vec::new();
+        for step in 0..20_000u32 {
+            match next() % 4 {
+                0 | 1 => {
+                    let k = next() % 1_000_000;
+                    let r = h.push(k, step);
+                    live.push((r, k));
+                    model.push(k);
+                }
+                2 if !live.is_empty() => {
+                    let i = (next() as usize) % live.len();
+                    let (r, old) = live[i];
+                    let nk = old / 2;
+                    if h.decrease_key(r, nk).is_ok() {
+                        live[i].1 = nk;
+                        let pos = model.iter().position(|&m| m == old).unwrap();
+                        model[pos] = nk;
+                    }
+                }
+                _ => {
+                    let got = h.pop_min().map(|(k, _)| k);
+                    model.sort_unstable();
+                    let want = if model.is_empty() {
+                        None
+                    } else {
+                        Some(model.remove(0))
+                    };
+                    assert_eq!(got, want, "mismatch at step {step}");
+                    if let Some(k) = got {
+                        // Drop one matching live handle (it is now stale).
+                        if let Some(p) = live.iter().position(|&(_, lk)| lk == k) {
+                            live.swap_remove(p);
+                        }
+                    }
+                }
+            }
+            assert_eq!(h.len(), model.len());
+        }
+    }
+}

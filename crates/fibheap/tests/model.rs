@@ -1,0 +1,100 @@
+//! Model-based property test: the Fibonacci heap must behave exactly like
+//! a reference priority queue under arbitrary operation sequences.
+
+use comm_fibheap::{FibHeap, HeapError, NodeRef};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    PopMin,
+    DecreaseKey { live_idx: usize, by: u32 },
+    Peek,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..10_000).prop_map(Op::Push),
+            Just(Op::PopMin),
+            (0usize..64, 1u32..500).prop_map(|(live_idx, by)| Op::DecreaseKey { live_idx, by }),
+            Just(Op::Peek),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matches_reference_model(ops in ops()) {
+        // Model: a Vec of (key, id) kept unsorted; min extracted by scan.
+        // Ids make entries distinguishable so decrease-key tracks exactly.
+        let mut heap: FibHeap<(u32, u64), u64> = FibHeap::new();
+        let mut live: Vec<(NodeRef, u32, u64)> = Vec::new(); // (handle, key, id)
+        let mut next_id = 0u64;
+        for op in ops {
+            match op {
+                Op::Push(k) => {
+                    let id = next_id;
+                    next_id += 1;
+                    let r = heap.push((k, id), id);
+                    live.push((r, k, id));
+                }
+                Op::PopMin => {
+                    let expect = live
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(_, k, id))| (k, id))
+                        .map(|(i, &(_, k, id))| (i, k, id));
+                    match (heap.pop_min(), expect) {
+                        (None, None) => {}
+                        (Some(((k, id), v)), Some((i, ek, eid))) => {
+                            prop_assert_eq!((k, id, v), (ek, eid, eid));
+                            live.swap_remove(i);
+                        }
+                        (got, want) => {
+                            return Err(TestCaseError::fail(format!(
+                                "pop mismatch: got {got:?}, want {want:?}"
+                            )))
+                        }
+                    }
+                }
+                Op::DecreaseKey { live_idx, by } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let i = live_idx % live.len();
+                    let (r, k, id) = live[i];
+                    let nk = k.saturating_sub(by);
+                    heap.decrease_key(r, (nk, id)).unwrap();
+                    live[i].1 = nk;
+                }
+                Op::Peek => {
+                    let expect = live.iter().map(|&(_, k, id)| (k, id)).min();
+                    prop_assert_eq!(heap.peek_min().map(|(&(k, id), _)| (k, id)), expect);
+                }
+            }
+            prop_assert_eq!(heap.len(), live.len());
+        }
+        // Drain and verify global order.
+        let mut rest: Vec<(u32, u64)> = live.iter().map(|&(_, k, id)| (k, id)).collect();
+        rest.sort_unstable();
+        let mut drained = Vec::new();
+        while let Some((key, _)) = heap.pop_min() {
+            drained.push(key);
+        }
+        prop_assert_eq!(drained, rest);
+    }
+
+    #[test]
+    fn stale_handles_always_detected(keys in proptest::collection::vec(0u32..100, 1..40)) {
+        let mut heap = FibHeap::new();
+        let handles: Vec<NodeRef> = keys.iter().map(|&k| heap.push(k, k)).collect();
+        while heap.pop_min().is_some() {}
+        for r in handles {
+            prop_assert_eq!(heap.decrease_key(r, 0), Err(HeapError::StaleHandle));
+        }
+    }
+}

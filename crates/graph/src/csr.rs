@@ -1,0 +1,574 @@
+//! Compressed-sparse-row storage for the database graph `G_D`.
+//!
+//! Both the forward and the reverse adjacency are materialized at build time
+//! because every algorithm in the paper alternates between "expand forward
+//! from centers" (Algorithm 4's virtual source `s`) and "expand backward
+//! from keyword nodes" (Algorithm 2's virtual sink `t`).
+
+use crate::weight::Weight;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a node (tuple) in a database graph.
+///
+/// Plain `u32` under a newtype: per-node algorithm state lives in flat
+/// vectors indexed by `NodeId::index()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> NodeId {
+        NodeId(v)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Which adjacency to traverse.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Follow edges `(u, v)` from `u` to `v`.
+    Forward,
+    /// Follow edges `(u, v)` from `v` to `u` (the paper's "reverse order"
+    /// trick in Algorithms 2 and 4).
+    Reverse,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[inline]
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Reverse,
+            Direction::Reverse => Direction::Forward,
+        }
+    }
+}
+
+/// One half (forward or reverse) of the adjacency in CSR form.
+#[derive(Clone, Default)]
+struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+    weights: Vec<Weight>,
+}
+
+impl Csr {
+    fn neighbors(&self, u: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        let lo = self.offsets[u.index()] as usize;
+        let hi = self.offsets[u.index() + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        (self.offsets[u.index() + 1] - self.offsets[u.index()]) as usize
+    }
+
+    fn from_edges(n: usize, edges: &[(NodeId, NodeId, Weight)], reverse: bool) -> Csr {
+        let mut counts = vec![0u32; n + 1];
+        for &(u, v, _) in edges {
+            let from = if reverse { v } else { u };
+            counts[from.index() + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![NodeId(0); edges.len()];
+        let mut weights = vec![Weight::ZERO; edges.len()];
+        for &(u, v, w) in edges {
+            let (from, to) = if reverse { (v, u) } else { (u, v) };
+            let pos = cursor[from.index()] as usize;
+            cursor[from.index()] += 1;
+            targets[pos] = to;
+            weights[pos] = w;
+        }
+        // Sort each adjacency run by target id for deterministic iteration
+        // and O(log deg) edge lookup.
+        let mut csr = Csr {
+            offsets,
+            targets,
+            weights,
+        };
+        for u in 0..n {
+            let lo = csr.offsets[u] as usize;
+            let hi = csr.offsets[u + 1] as usize;
+            let mut run: Vec<(NodeId, Weight)> = csr.targets[lo..hi]
+                .iter()
+                .copied()
+                .zip(csr.weights[lo..hi].iter().copied())
+                .collect();
+            run.sort_by_key(|&(t, w)| (t, w));
+            for (i, (t, w)) in run.into_iter().enumerate() {
+                csr.targets[lo + i] = t;
+                csr.weights[lo + i] = w;
+            }
+        }
+        csr
+    }
+}
+
+/// A weighted directed graph in CSR form, with both adjacency directions
+/// materialized. This is the paper's database graph `G_D = (V, E)`.
+#[derive(Clone, Default)]
+pub struct Graph {
+    n: usize,
+    m: usize,
+    fwd: Csr,
+    rev: Csr,
+}
+
+impl Graph {
+    /// Number of nodes `n = |V(G_D)|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges `m = |E(G_D)|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.m
+    }
+
+    /// Iterates all node ids, `v0..v{n-1}`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n as u32).map(NodeId)
+    }
+
+    /// Iterates the neighbors of `u` in the given direction, as
+    /// `(neighbor, edge weight)` pairs sorted by neighbor id.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId, dir: Direction) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        match dir {
+            Direction::Forward => self.fwd.neighbors(u),
+            Direction::Reverse => self.rev.neighbors(u),
+        }
+    }
+
+    /// Out-neighbors of `u` (edges `(u, v)`), sorted by target id.
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        self.fwd.neighbors(u)
+    }
+
+    /// In-neighbors of `v` (edges `(u, v)` seen from `v`), sorted by source id.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        self.rev.neighbors(v)
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.fwd.degree(u)
+    }
+
+    /// In-degree of `u` (the `N_in(v)` of the paper's weight function).
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        self.rev.degree(u)
+    }
+
+    /// The weight of edge `(u, v)`, if present. With parallel edges the
+    /// smallest weight is returned.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        let lo = self.fwd.offsets[u.index()] as usize;
+        let hi = self.fwd.offsets[u.index() + 1] as usize;
+        let run = &self.fwd.targets[lo..hi];
+        let first = run.partition_point(|&t| t < v);
+        let mut best: Option<Weight> = None;
+        for (t, &w) in run[first..]
+            .iter()
+            .zip(&self.fwd.weights[lo + first..hi])
+        {
+            if *t != v {
+                break;
+            }
+            best = Some(match best {
+                Some(b) if b <= w => b,
+                _ => w,
+            });
+        }
+        best
+    }
+
+    /// Whether the edge `(u, v)` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_weight(u, v).is_some()
+    }
+
+    /// All edges as `(u, v, w)` triples, grouped by source.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Weight)> + '_ {
+        self.nodes()
+            .flat_map(move |u| self.out_neighbors(u).map(move |(v, w)| (u, v, w)))
+    }
+
+    /// Estimated resident size of the CSR arrays in bytes (used by the
+    /// benchmark memory accounting).
+    pub fn byte_size(&self) -> usize {
+        let per_csr = |c: &Csr| {
+            c.offsets.len() * std::mem::size_of::<u32>()
+                + c.targets.len() * std::mem::size_of::<NodeId>()
+                + c.weights.len() * std::mem::size_of::<Weight>()
+        };
+        per_csr(&self.fwd) + per_csr(&self.rev)
+    }
+
+    /// Extracts the subgraph induced by `nodes` (original ids), renumbering
+    /// nodes to `0..nodes.len()`.
+    ///
+    /// This is the final step of the paper's `GetCommunity()` (Algorithm 4
+    /// line 7) and `GraphProjection` (Algorithm 6 line 15): keep every edge
+    /// of `G_D` whose both endpoints are selected.
+    pub fn induce(&self, nodes: &[NodeId]) -> InducedGraph {
+        let mut sorted: Vec<NodeId> = nodes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let to_local: HashMap<NodeId, NodeId> = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &orig)| (orig, NodeId(i as u32)))
+            .collect();
+        let mut builder = GraphBuilder::new(sorted.len());
+        for (&orig, &local) in sorted.iter().zip(sorted.iter().map(|o| &to_local[o])) {
+            for (v, w) in self.out_neighbors(orig) {
+                if let Some(&lv) = to_local.get(&v) {
+                    builder.add_edge(local, lv, w);
+                }
+            }
+        }
+        InducedGraph {
+            graph: builder.build(),
+            original_ids: sorted,
+        }
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.n, self.m)
+    }
+}
+
+/// An induced subgraph together with the mapping back to original node ids.
+#[derive(Clone, Debug)]
+pub struct InducedGraph {
+    /// The renumbered subgraph.
+    pub graph: Graph,
+    /// `original_ids[local.index()]` is the original id of local node `local`.
+    pub original_ids: Vec<NodeId>,
+}
+
+impl InducedGraph {
+    /// Maps a local node id back to the original graph's id.
+    #[inline]
+    pub fn to_original(&self, local: NodeId) -> NodeId {
+        self.original_ids[local.index()]
+    }
+
+    /// Maps an original id to the local id, if the node was selected.
+    pub fn to_local(&self, original: NodeId) -> Option<NodeId> {
+        self.original_ids
+            .binary_search(&original)
+            .ok()
+            .map(|i| NodeId(i as u32))
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// ```
+/// use comm_graph::{GraphBuilder, NodeId, Weight, Direction};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId(0), NodeId(1), Weight::new(2.0));
+/// b.add_edge(NodeId(1), NodeId(2), Weight::new(3.0));
+/// let g = b.build();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.out_degree(NodeId(0)), 1);
+/// assert_eq!(g.in_degree(NodeId(2)), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId, Weight)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with `n` nodes, ids `0..n`.
+    pub fn new(n: usize) -> GraphBuilder {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes declared so far.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Adds a fresh node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.n as u32);
+        self.n += 1;
+        id
+    }
+
+    /// Adds the directed edge `(u, v)` with weight `w`.
+    ///
+    /// # Panics
+    /// If either endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: Weight) {
+        assert!(
+            u.index() < self.n && v.index() < self.n,
+            "edge ({u}, {v}) out of range for n={}",
+            self.n
+        );
+        self.edges.push((u, v, w));
+    }
+
+    /// Adds both `(u, v)` and `(v, u)` with the same weight.
+    pub fn add_bidirected_edge(&mut self, u: NodeId, v: NodeId, w: Weight) {
+        self.add_edge(u, v, w);
+        self.add_edge(v, u, w);
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the CSR representation.
+    pub fn build(self) -> Graph {
+        let fwd = Csr::from_edges(self.n, &self.edges, false);
+        let rev = Csr::from_edges(self.n, &self.edges, true);
+        Graph {
+            n: self.n,
+            m: self.edges.len(),
+            fwd,
+            rev,
+        }
+    }
+
+    /// Finalizes the CSR representation with *node weights* folded into
+    /// the edges: every edge `(u, v)` gains `node_weights[v]`, so a path's
+    /// distance includes the weight of every node it enters (all nodes
+    /// except the start). This is the standard reduction behind the
+    /// paper's footnote "our approach can support node weights".
+    ///
+    /// # Panics
+    /// If `node_weights.len() != n`.
+    pub fn build_with_node_weights(mut self, node_weights: &[Weight]) -> Graph {
+        assert_eq!(
+            node_weights.len(),
+            self.n,
+            "need one weight per node ({} nodes, {} weights)",
+            self.n,
+            node_weights.len()
+        );
+        for (_, v, w) in &mut self.edges {
+            *w += node_weights[v.index()];
+        }
+        self.build()
+    }
+}
+
+/// Builds a graph directly from an edge list (convenience for tests and
+/// examples). Node count is `n`; weights are given as `f64`.
+pub fn graph_from_edges(n: usize, edges: &[(u32, u32, f64)]) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v, w) in edges {
+        b.add_edge(NodeId(u), NodeId(v), Weight::new(w));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        graph_from_edges(4, &[(0, 1, 1.0), (1, 3, 2.0), (0, 2, 4.0), (2, 3, 8.0)])
+    }
+
+    #[test]
+    fn counts() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn forward_and_reverse_adjacency() {
+        let g = diamond();
+        let out0: Vec<_> = g.out_neighbors(NodeId(0)).collect();
+        assert_eq!(
+            out0,
+            vec![(NodeId(1), Weight::new(1.0)), (NodeId(2), Weight::new(4.0))]
+        );
+        let in3: Vec<_> = g.in_neighbors(NodeId(3)).collect();
+        assert_eq!(
+            in3,
+            vec![(NodeId(1), Weight::new(2.0)), (NodeId(2), Weight::new(8.0))]
+        );
+        // Reverse direction flips edges.
+        let rev3: Vec<_> = g.neighbors(NodeId(3), Direction::Reverse).collect();
+        assert_eq!(rev3, in3);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.in_degree(NodeId(0)), 0);
+        assert_eq!(g.in_degree(NodeId(3)), 2);
+        assert_eq!(g.out_degree(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let g = diamond();
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(Weight::new(1.0)));
+        assert_eq!(g.edge_weight(NodeId(1), NodeId(0)), None);
+        assert!(g.has_edge(NodeId(2), NodeId(3)));
+        assert!(!g.has_edge(NodeId(3), NodeId(2)));
+    }
+
+    #[test]
+    fn parallel_edges_keep_min_weight_lookup() {
+        let g = graph_from_edges(2, &[(0, 1, 5.0), (0, 1, 3.0)]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(Weight::new(3.0)));
+    }
+
+    #[test]
+    fn bidirected_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.add_bidirected_edge(NodeId(0), NodeId(1), Weight::new(1.5));
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn edges_iterator_roundtrip() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.contains(&(NodeId(0), NodeId(2), Weight::new(4.0))));
+    }
+
+    #[test]
+    fn induce_subgraph() {
+        let g = diamond();
+        // Take nodes {0, 1, 3}: edges 0->1 and 1->3 survive, 0->2->3 dropped.
+        let ind = g.induce(&[NodeId(3), NodeId(0), NodeId(1)]);
+        assert_eq!(ind.graph.node_count(), 3);
+        assert_eq!(ind.graph.edge_count(), 2);
+        assert_eq!(ind.to_original(NodeId(0)), NodeId(0));
+        assert_eq!(ind.to_original(NodeId(2)), NodeId(3));
+        assert_eq!(ind.to_local(NodeId(3)), Some(NodeId(2)));
+        assert_eq!(ind.to_local(NodeId(2)), None);
+        // Local edge 0->1 has original weight.
+        assert_eq!(
+            ind.graph.edge_weight(NodeId(0), NodeId(1)),
+            Some(Weight::new(1.0))
+        );
+    }
+
+    #[test]
+    fn induce_dedups_input() {
+        let g = diamond();
+        let ind = g.induce(&[NodeId(1), NodeId(1), NodeId(0)]);
+        assert_eq!(ind.graph.node_count(), 2);
+    }
+
+    #[test]
+    fn add_node_grows() {
+        let mut b = GraphBuilder::new(0);
+        let a = b.add_node();
+        let c = b.add_node();
+        b.add_edge(a, c, Weight::new(1.0));
+        let g = b.build();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(NodeId(0), NodeId(1), Weight::ZERO);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn byte_size_positive() {
+        assert!(diamond().byte_size() > 0);
+    }
+
+    #[test]
+    fn node_weights_fold_into_edges() {
+        // 0 -1-> 1 -1-> 2 with node weights [5, 10, 20]:
+        // dist(0, 2) = (1 + 10) + (1 + 20) = 32; the start's weight is free.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), Weight::new(1.0));
+        b.add_edge(NodeId(1), NodeId(2), Weight::new(1.0));
+        let g = b.build_with_node_weights(&[
+            Weight::new(5.0),
+            Weight::new(10.0),
+            Weight::new(20.0),
+        ]);
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(Weight::new(11.0)));
+        let d = crate::dijkstra::shortest_distances(&g, Direction::Forward, NodeId(0));
+        assert_eq!(d[2], Weight::new(32.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per node")]
+    fn node_weights_length_checked() {
+        let b = GraphBuilder::new(2);
+        let _ = b.build_with_node_weights(&[Weight::ZERO]);
+    }
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::Forward.flip(), Direction::Reverse);
+        assert_eq!(Direction::Reverse.flip(), Direction::Forward);
+    }
+}

@@ -1,0 +1,361 @@
+//! Radius-bounded single/multi-source Dijkstra.
+//!
+//! Every subroutine in the paper reduces to a shortest-path sweep:
+//!
+//! * `Neighbor(G_D, V_i, Rmax)` (Algorithm 2) = multi-source Dijkstra on the
+//!   *reverse* graph seeded from `V_i` at distance 0 (the virtual sink `t`
+//!   with zero-weight edges), truncated at `Rmax`;
+//! * `GetCommunity` (Algorithm 4) = one forward sweep from the virtual
+//!   source `s` over the centers plus one reverse sweep from `t` over the
+//!   core;
+//! * the expanding baselines = truncated sweeps per keyword node / per
+//!   candidate center.
+//!
+//! [`DijkstraEngine`] owns the per-node scratch arrays and recycles them
+//! across runs with an epoch counter, so a sweep costs
+//! `O(n_reached · log n_reached + m_reached)` with no per-run allocation
+//! beyond heap growth.
+
+use crate::csr::{Direction, Graph, NodeId};
+use crate::weight::Weight;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Marker for "no source recorded".
+const NO_SOURCE: u32 = u32::MAX;
+
+/// A settled node reported by [`DijkstraEngine::run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Settled {
+    /// The settled node.
+    pub node: NodeId,
+    /// Shortest distance from the nearest seed (seeds are at distance 0).
+    pub dist: Weight,
+    /// The seed the shortest path starts from — the paper's `src(N_i, u)`.
+    pub source: NodeId,
+    /// The previous hop on that shortest path (the node itself for seeds).
+    /// Following `parent` repeatedly reaches `source`.
+    pub parent: NodeId,
+}
+
+/// Reusable Dijkstra state for one graph size.
+pub struct DijkstraEngine {
+    dist: Vec<Weight>,
+    source: Vec<u32>,
+    parent: Vec<u32>,
+    epoch: Vec<u32>,
+    settled: Vec<bool>,
+    current_epoch: u32,
+    heap: BinaryHeap<Reverse<(Weight, NodeId)>>,
+}
+
+impl DijkstraEngine {
+    /// Creates an engine for graphs with up to `n` nodes.
+    pub fn new(n: usize) -> DijkstraEngine {
+        DijkstraEngine {
+            dist: vec![Weight::INFINITY; n],
+            source: vec![NO_SOURCE; n],
+            parent: vec![NO_SOURCE; n],
+            epoch: vec![0; n],
+            settled: vec![false; n],
+            current_epoch: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Grows the engine to accommodate `n` nodes (no-op if large enough).
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, Weight::INFINITY);
+            self.source.resize(n, NO_SOURCE);
+            self.parent.resize(n, NO_SOURCE);
+            self.epoch.resize(n, 0);
+            self.settled.resize(n, false);
+        }
+    }
+
+    #[inline]
+    fn fresh(&mut self) {
+        self.current_epoch = self.current_epoch.wrapping_add(1);
+        if self.current_epoch == 0 {
+            // Extremely rare wrap: reset stamps so stale entries cannot alias.
+            self.epoch.fill(u32::MAX);
+            self.current_epoch = 1;
+        }
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn relax(&mut self, node: NodeId, dist: Weight, source: NodeId, parent: NodeId) -> bool {
+        let i = node.index();
+        if self.epoch[i] != self.current_epoch {
+            self.epoch[i] = self.current_epoch;
+            self.settled[i] = false;
+            self.dist[i] = dist;
+            self.source[i] = source.0;
+            self.parent[i] = parent.0;
+            true
+        } else if dist < self.dist[i] && !self.settled[i] {
+            self.dist[i] = dist;
+            self.source[i] = source.0;
+            self.parent[i] = parent.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs a truncated multi-source Dijkstra.
+    ///
+    /// Seeds start at distance `0`. Nodes with shortest distance `≤ radius`
+    /// are settled and passed to `visit` in non-decreasing distance order.
+    /// Each settled node carries the seed its shortest path leaves from
+    /// (ties broken by which seed reaches it first through the heap, which
+    /// is deterministic for a fixed graph).
+    ///
+    /// Returns the number of settled nodes.
+    pub fn run<F: FnMut(Settled)>(
+        &mut self,
+        graph: &Graph,
+        dir: Direction,
+        seeds: impl IntoIterator<Item = NodeId>,
+        radius: Weight,
+        mut visit: F,
+    ) -> usize {
+        self.ensure_capacity(graph.node_count());
+        self.fresh();
+        for seed in seeds {
+            if self.relax(seed, Weight::ZERO, seed, seed) {
+                self.heap.push(Reverse((Weight::ZERO, seed)));
+            }
+        }
+        let mut settled_count = 0;
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            let i = u.index();
+            if self.settled[i] || d > self.dist[i] {
+                continue; // lazily deleted entry
+            }
+            self.settled[i] = true;
+            settled_count += 1;
+            let source = NodeId(self.source[i]);
+            visit(Settled {
+                node: u,
+                dist: d,
+                source,
+                parent: NodeId(self.parent[i]),
+            });
+            for (v, w) in graph.neighbors(u, dir) {
+                let nd = d + w;
+                if nd <= radius && self.relax(v, nd, source, u) {
+                    self.heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        settled_count
+    }
+
+    /// Like [`run`](Self::run) but materializes per-node `(dist, src)`
+    /// arrays of length `n`, with `Weight::INFINITY` / `None` for nodes
+    /// beyond the radius. This is the exact output shape of the paper's
+    /// `Neighbor()` (`min(N_i, u)` and `src(N_i, u)`).
+    pub fn run_into(
+        &mut self,
+        graph: &Graph,
+        dir: Direction,
+        seeds: impl IntoIterator<Item = NodeId>,
+        radius: Weight,
+        out_dist: &mut [Weight],
+        out_src: &mut [Option<NodeId>],
+    ) -> usize {
+        let n = graph.node_count();
+        assert!(out_dist.len() >= n && out_src.len() >= n);
+        out_dist[..n].fill(Weight::INFINITY);
+        out_src[..n].fill(None);
+        self.run(graph, dir, seeds, radius, |s| {
+            out_dist[s.node.index()] = s.dist;
+            out_src[s.node.index()] = Some(s.source);
+        })
+    }
+
+    /// Single-source distances to every node (untruncated), as a dense
+    /// vector. Convenience used by tests and examples.
+    pub fn distances(&mut self, graph: &Graph, dir: Direction, from: NodeId) -> Vec<Weight> {
+        let mut dist = vec![Weight::INFINITY; graph.node_count()];
+        self.run(graph, dir, [from], Weight::INFINITY, |s| {
+            dist[s.node.index()] = s.dist;
+        });
+        dist
+    }
+}
+
+/// One-shot single-source shortest distances (allocates its own engine).
+pub fn shortest_distances(graph: &Graph, dir: Direction, from: NodeId) -> Vec<Weight> {
+    DijkstraEngine::new(graph.node_count()).distances(graph, dir, from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::graph_from_edges;
+    use crate::reference::all_pairs_shortest;
+
+    fn line() -> Graph {
+        graph_from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 4.0)])
+    }
+
+    #[test]
+    fn single_source_forward() {
+        let g = line();
+        let d = shortest_distances(&g, Direction::Forward, NodeId(0));
+        assert_eq!(d[0], Weight::ZERO);
+        assert_eq!(d[1], Weight::new(1.0));
+        assert_eq!(d[2], Weight::new(3.0));
+        assert_eq!(d[3], Weight::new(7.0));
+    }
+
+    #[test]
+    fn single_source_reverse() {
+        let g = line();
+        let d = shortest_distances(&g, Direction::Reverse, NodeId(3));
+        // Reverse from 3 gives dist(u, 3) for each u.
+        assert_eq!(d[0], Weight::new(7.0));
+        assert_eq!(d[3], Weight::ZERO);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = graph_from_edges(3, &[(0, 1, 1.0)]);
+        let d = shortest_distances(&g, Direction::Forward, NodeId(0));
+        assert!(!d[2].is_finite());
+    }
+
+    #[test]
+    fn radius_truncation() {
+        let g = line();
+        let mut eng = DijkstraEngine::new(4);
+        let mut reached = Vec::new();
+        eng.run(&g, Direction::Forward, [NodeId(0)], Weight::new(3.0), |s| {
+            reached.push((s.node, s.dist));
+        });
+        assert_eq!(
+            reached,
+            vec![
+                (NodeId(0), Weight::ZERO),
+                (NodeId(1), Weight::new(1.0)),
+                (NodeId(2), Weight::new(3.0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_source_nearest_seed_wins() {
+        // 0 -> 1 -> 2 <- 3, seeds {0, 3}: node 2 is closer to 3.
+        let g = graph_from_edges(4, &[(0, 1, 1.0), (1, 2, 5.0), (3, 2, 2.0)]);
+        let mut eng = DijkstraEngine::new(4);
+        let mut dist = vec![Weight::INFINITY; 4];
+        let mut src = vec![None; 4];
+        eng.run_into(
+            &g,
+            Direction::Forward,
+            [NodeId(0), NodeId(3)],
+            Weight::INFINITY,
+            &mut dist,
+            &mut src,
+        );
+        assert_eq!(dist[2], Weight::new(2.0));
+        assert_eq!(src[2], Some(NodeId(3)));
+        assert_eq!(src[1], Some(NodeId(0)));
+        assert_eq!(src[0], Some(NodeId(0)));
+    }
+
+    #[test]
+    fn engine_reuse_across_runs() {
+        let g = line();
+        let mut eng = DijkstraEngine::new(4);
+        let d1 = eng.distances(&g, Direction::Forward, NodeId(0));
+        let d2 = eng.distances(&g, Direction::Forward, NodeId(2));
+        assert_eq!(d1[3], Weight::new(7.0));
+        assert_eq!(d2[3], Weight::new(4.0));
+        assert!(!d2[0].is_finite());
+        // And a third run still agrees with a fresh engine.
+        let d3 = eng.distances(&g, Direction::Reverse, NodeId(3));
+        let d3_fresh = shortest_distances(&g, Direction::Reverse, NodeId(3));
+        assert_eq!(d3, d3_fresh);
+    }
+
+    #[test]
+    fn settle_order_is_nondecreasing() {
+        let g = graph_from_edges(
+            5,
+            &[(0, 1, 3.0), (0, 2, 1.0), (2, 1, 1.0), (1, 3, 1.0), (2, 4, 10.0)],
+        );
+        let mut eng = DijkstraEngine::new(5);
+        let mut last = Weight::ZERO;
+        eng.run(&g, Direction::Forward, [NodeId(0)], Weight::INFINITY, |s| {
+            assert!(s.dist >= last);
+            last = s.dist;
+        });
+    }
+
+    #[test]
+    fn zero_weight_cycles_terminate() {
+        let g = graph_from_edges(3, &[(0, 1, 0.0), (1, 0, 0.0), (1, 2, 1.0)]);
+        let d = shortest_distances(&g, Direction::Forward, NodeId(0));
+        assert_eq!(d[1], Weight::ZERO);
+        assert_eq!(d[2], Weight::new(1.0));
+    }
+
+    #[test]
+    fn matches_floyd_warshall_on_grid() {
+        // Deterministic pseudo-random sparse graph, checked both directions.
+        let n = 40usize;
+        let mut edges = Vec::new();
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..200 {
+            let u = next() % n as u32;
+            let v = next() % n as u32;
+            let w = f64::from(next() % 10) + 1.0;
+            edges.push((u, v, w));
+        }
+        let g = graph_from_edges(n, &edges);
+        let apsp = all_pairs_shortest(&g, Direction::Forward);
+        let mut eng = DijkstraEngine::new(n);
+        for s in 0..n as u32 {
+            let d = eng.distances(&g, Direction::Forward, NodeId(s));
+            for t in 0..n {
+                assert_eq!(d[t], apsp[s as usize][t], "mismatch {s}->{t}");
+            }
+        }
+        // Reverse direction equals APSP of the transposed relation.
+        let d_rev = eng.distances(&g, Direction::Reverse, NodeId(0));
+        for (u, du) in d_rev.iter().enumerate() {
+            assert_eq!(*du, apsp[u][0], "reverse mismatch {u}->0");
+        }
+    }
+
+    #[test]
+    fn run_returns_settle_count() {
+        let g = line();
+        let mut eng = DijkstraEngine::new(4);
+        let count = eng.run(&g, Direction::Forward, [NodeId(0)], Weight::new(3.0), |_| {});
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn empty_seed_set() {
+        let g = line();
+        let mut eng = DijkstraEngine::new(4);
+        let count = eng.run(
+            &g,
+            Direction::Forward,
+            std::iter::empty(),
+            Weight::INFINITY,
+            |_| {},
+        );
+        assert_eq!(count, 0);
+    }
+}

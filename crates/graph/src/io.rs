@@ -1,0 +1,176 @@
+//! Binary persistence for graphs.
+//!
+//! Paper-scale graphs take ~a minute to regenerate from the relational
+//! layer; this compact little-endian format lets harness runs cache the
+//! materialized `G_D` (and, one level up, the keyword map) on disk.
+//!
+//! Layout: magic `CGPH`, format version, `n`, `m`, then `m` records of
+//! `(u: u32, v: u32, w: f64)`.
+
+use crate::csr::{Graph, GraphBuilder, NodeId};
+use crate::weight::Weight;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: [u8; 4] = *b"CGPH";
+const VERSION: u32 = 1;
+
+/// Writes `graph` to `w` in the binary format.
+pub fn write_graph<W: Write>(graph: &Graph, w: &mut W) -> io::Result<()> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(graph.node_count() as u64).to_le_bytes())?;
+    w.write_all(&(graph.edge_count() as u64).to_le_bytes())?;
+    for (u, v, weight) in graph.edges() {
+        w.write_all(&u.0.to_le_bytes())?;
+        w.write_all(&v.0.to_le_bytes())?;
+        w.write_all(&weight.get().to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_exact<const N: usize, R: Read>(r: &mut R) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Reads a graph previously written by [`write_graph`].
+pub fn read_graph<R: Read>(r: &mut R) -> io::Result<Graph> {
+    if read_exact::<4, _>(r)? != MAGIC {
+        return Err(bad("not a CGPH graph file"));
+    }
+    let version = u32::from_le_bytes(read_exact::<4, _>(r)?);
+    if version != VERSION {
+        return Err(bad("unsupported CGPH version"));
+    }
+    let n = u64::from_le_bytes(read_exact::<8, _>(r)?) as usize;
+    let m = u64::from_le_bytes(read_exact::<8, _>(r)?) as usize;
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..m {
+        let u = u32::from_le_bytes(read_exact::<4, _>(r)?);
+        let v = u32::from_le_bytes(read_exact::<4, _>(r)?);
+        let w = f64::from_le_bytes(read_exact::<8, _>(r)?);
+        if u as usize >= n || v as usize >= n {
+            return Err(bad("edge endpoint out of range"));
+        }
+        if !(w.is_finite() && w >= 0.0) {
+            return Err(bad("invalid edge weight"));
+        }
+        b.add_edge(NodeId(u), NodeId(v), Weight::new(w));
+    }
+    Ok(b.build())
+}
+
+/// Saves a graph to a file (buffered).
+pub fn save_graph(graph: &Graph, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    write_graph(graph, &mut w)?;
+    w.flush()
+}
+
+/// Loads a graph from a file (buffered).
+pub fn load_graph(path: impl AsRef<Path>) -> io::Result<Graph> {
+    read_graph(&mut BufReader::new(std::fs::File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::graph_from_edges;
+
+    fn sample() -> Graph {
+        graph_from_edges(
+            5,
+            &[(0, 1, 1.5), (1, 2, 0.0), (4, 0, 2.25), (2, 2, 3.0), (0, 1, 7.0)],
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let h = read_graph(&mut buf.as_slice()).unwrap();
+        assert_eq!(h.node_count(), g.node_count());
+        assert_eq!(h.edge_count(), g.edge_count());
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            h.edges().collect::<Vec<_>>()
+        );
+        // Reverse adjacency rebuilt identically.
+        for u in g.nodes() {
+            assert_eq!(
+                g.in_neighbors(u).collect::<Vec<_>>(),
+                h.in_neighbors(u).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("comm_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.cgph");
+        let g = sample();
+        save_graph(&g, &path).unwrap();
+        let h = load_graph(&path).unwrap();
+        assert_eq!(h.edge_count(), g.edge_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_graph(&mut &b"NOPE\0\0\0\0"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_graph(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_edge() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"CGPH");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&2u64.to_le_bytes()); // n = 2
+        buf.extend_from_slice(&1u64.to_le_bytes()); // m = 1
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&9u32.to_le_bytes()); // v = 9 out of range
+        buf.extend_from_slice(&1.0f64.to_le_bytes());
+        assert!(read_graph(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_nan_weight() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"CGPH");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&f64::NAN.to_le_bytes());
+        assert!(read_graph(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = graph_from_edges(0, &[]);
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let h = read_graph(&mut buf.as_slice()).unwrap();
+        assert_eq!(h.node_count(), 0);
+        assert_eq!(h.edge_count(), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Weighted directed graph substrate for keyword community search.
+//!
+//! This crate provides the database-graph machinery the ICDE'09 paper
+//! ("Querying Communities in Relational Databases") builds on:
+//!
+//! * [`Graph`]: CSR storage with both forward and reverse adjacency,
+//!   modeling the database graph `G_D = (V, E)` whose nodes are tuples and
+//!   whose edges are foreign-key references;
+//! * [`Weight`]: totally ordered non-negative edge weights (the paper uses
+//!   `w_e((u,v)) = log2(1 + N_in(v))`);
+//! * [`DijkstraEngine`]: reusable radius-bounded multi-source Dijkstra, the
+//!   workhorse behind `Neighbor()`, `GetCommunity()` and `GraphProjection`;
+//! * [`InducedGraph`]: induced-subgraph extraction with id mapping;
+//! * [`mod@reference`]: brute-force oracles for tests.
+//!
+//! # Example
+//! ```
+//! use comm_graph::{graph_from_edges, shortest_distances, Direction, NodeId, Weight};
+//!
+//! let g = graph_from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)]);
+//! let d = shortest_distances(&g, Direction::Forward, NodeId(0));
+//! assert_eq!(d[2], Weight::new(3.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csr;
+mod dijkstra;
+mod dijkstra_fib;
+pub mod io;
+pub mod reference;
+mod weight;
+
+pub use csr::{graph_from_edges, Direction, Graph, GraphBuilder, InducedGraph, NodeId};
+pub use dijkstra::{shortest_distances, DijkstraEngine, Settled};
+pub use dijkstra_fib::FibDijkstraEngine;
+pub use weight::Weight;

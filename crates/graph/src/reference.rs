@@ -1,0 +1,56 @@
+//! Brute-force reference algorithms used to cross-check the optimized
+//! implementations in tests and property tests. These are `O(n^3)` /
+//! exponential and intended for small graphs only.
+
+use crate::csr::{Direction, Graph};
+use crate::weight::Weight;
+
+/// Floyd–Warshall all-pairs shortest distances.
+///
+/// `result[u][v]` is the shortest distance from `u` to `v` following the
+/// given direction's edges (for [`Direction::Reverse`], that is the
+/// distance in the transposed graph).
+pub fn all_pairs_shortest(graph: &Graph, dir: Direction) -> Vec<Vec<Weight>> {
+    let n = graph.node_count();
+    let mut d = vec![vec![Weight::INFINITY; n]; n];
+    for u in graph.nodes() {
+        d[u.index()][u.index()] = Weight::ZERO;
+        for (v, w) in graph.neighbors(u, dir) {
+            if w < d[u.index()][v.index()] {
+                d[u.index()][v.index()] = w;
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if !d[i][k].is_finite() {
+                continue;
+            }
+            for j in 0..n {
+                let through = d[i][k] + d[k][j];
+                if through < d[i][j] {
+                    d[i][j] = through;
+                }
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::{graph_from_edges, NodeId};
+
+    #[test]
+    fn small_triangle() {
+        let g = graph_from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)]);
+        let d = all_pairs_shortest(&g, Direction::Forward);
+        assert_eq!(d[0][2], Weight::new(2.0));
+        assert_eq!(d[2][0], Weight::INFINITY);
+        let dr = all_pairs_shortest(&g, Direction::Reverse);
+        assert_eq!(dr[2][0], Weight::new(2.0));
+        assert_eq!(dr[0][2], Weight::INFINITY);
+        let _ = NodeId(0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Total-ordered, non-negative edge weights.
+//!
+//! The paper's weight function `w_e((u,v)) = log2(1 + N_in(v))` produces
+//! fractional weights, so weights are `f64` under the hood; [`Weight`] wraps
+//! them with a *total* order (`f64::total_cmp`) so they can key heaps and be
+//! compared exactly in tie-breaking rules.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// A non-negative, totally ordered path/edge weight.
+///
+/// `Weight` is `Copy` and 8 bytes; `Weight::INFINITY` marks unreachable
+/// distances. Constructing a NaN or negative weight is a caller bug and is
+/// rejected by [`Weight::new`].
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Weight(f64);
+
+impl Weight {
+    /// The zero weight (virtual edges in the paper's Algorithms 2/4/6).
+    pub const ZERO: Weight = Weight(0.0);
+    /// Unreachable marker.
+    pub const INFINITY: Weight = Weight(f64::INFINITY);
+
+    /// Creates a weight, panicking on NaN or negative input.
+    ///
+    /// Shortest-path algorithms require non-negative weights; a NaN would
+    /// silently corrupt heap ordering, so both are rejected eagerly.
+    #[inline]
+    pub fn new(w: f64) -> Weight {
+        assert!(w >= 0.0, "edge weights must be non-negative and not NaN, got {w}");
+        Weight(w)
+    }
+
+    /// The raw `f64` value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Whether this weight is finite (i.e. represents a reachable distance).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Saturating-at-infinity addition of two weights.
+    #[inline]
+    pub fn saturating_add(self, rhs: Weight) -> Weight {
+        Weight(self.0 + rhs.0)
+    }
+}
+
+impl From<u32> for Weight {
+    #[inline]
+    fn from(w: u32) -> Weight {
+        Weight(f64::from(w))
+    }
+}
+
+impl Eq for Weight {}
+
+impl PartialOrd for Weight {
+    #[inline]
+    fn partial_cmp(&self, other: &Weight) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Weight {
+    #[inline]
+    fn cmp(&self, other: &Weight) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for Weight {
+    type Output = Weight;
+    #[inline]
+    fn add(self, rhs: Weight) -> Weight {
+        Weight(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Weight {
+    #[inline]
+    fn add_assign(&mut self, rhs: Weight) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Weight {
+    fn sum<I: Iterator<Item = Weight>>(iter: I) -> Weight {
+        iter.fold(Weight::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        assert!(Weight::ZERO < Weight::new(1.0));
+        assert!(Weight::new(1.0) < Weight::INFINITY);
+        assert_eq!(Weight::new(2.5), Weight::new(2.5));
+    }
+
+    #[test]
+    fn addition_saturates_at_infinity() {
+        let w = Weight::INFINITY + Weight::new(3.0);
+        assert!(!w.is_finite());
+        assert_eq!(w, Weight::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rejected() {
+        let _ = Weight::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn nan_rejected() {
+        let _ = Weight::new(f64::NAN);
+    }
+
+    #[test]
+    fn sum_of_weights() {
+        let total: Weight = [1u32, 2, 3].into_iter().map(Weight::from).sum();
+        assert_eq!(total, Weight::new(6.0));
+    }
+
+    #[test]
+    fn from_u32() {
+        assert_eq!(Weight::from(7u32), Weight::new(7.0));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the graph substrate: both Dijkstra engines against
+//! the Floyd–Warshall oracle, truncation semantics, and induced subgraphs.
+
+use comm_graph::reference::all_pairs_shortest;
+use comm_graph::{
+    graph_from_edges, DijkstraEngine, Direction, FibDijkstraEngine, Graph, NodeId, Weight,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    n: usize,
+    edges: Vec<(u32, u32, u32)>,
+}
+
+fn random_graph() -> impl Strategy<Value = RandomGraph> {
+    (2usize..30).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0u32..9), 0..n * 4)
+            .prop_map(move |edges| RandomGraph { n, edges })
+    })
+}
+
+fn build(rg: &RandomGraph) -> Graph {
+    let edges: Vec<(u32, u32, f64)> = rg
+        .edges
+        .iter()
+        .map(|&(u, v, w)| (u, v, f64::from(w)))
+        .collect();
+    graph_from_edges(rg.n, &edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn binary_dijkstra_matches_floyd_warshall(rg in random_graph(), dir_fwd in any::<bool>()) {
+        let g = build(&rg);
+        let dir = if dir_fwd { Direction::Forward } else { Direction::Reverse };
+        let oracle = all_pairs_shortest(&g, dir);
+        let mut engine = DijkstraEngine::new(g.node_count());
+        for s in g.nodes() {
+            let d = engine.distances(&g, dir, s);
+            prop_assert_eq!(&d, &oracle[s.index()], "source {}", s);
+        }
+    }
+
+    #[test]
+    fn fib_engine_equals_binary_engine(rg in random_graph(), seed_count in 1usize..4, radius in 0u32..30) {
+        let g = build(&rg);
+        let seeds: Vec<NodeId> = (0..seed_count.min(rg.n))
+            .map(|i| NodeId((i * 7 % rg.n) as u32))
+            .collect();
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let r = Weight::from(radius);
+        let mut bin = DijkstraEngine::new(g.node_count());
+        let mut fib = FibDijkstraEngine::new(g.node_count());
+        for dir in [Direction::Forward, Direction::Reverse] {
+            let mut a = Vec::new();
+            bin.run(&g, dir, sorted.iter().copied(), r, |s| a.push(s));
+            let mut b = Vec::new();
+            fib.run(&g, dir, sorted.iter().copied(), r, |s| b.push(s));
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    #[test]
+    fn truncation_is_prefix_of_full_run(rg in random_graph(), radius in 0u32..20) {
+        let g = build(&rg);
+        let mut engine = DijkstraEngine::new(g.node_count());
+        let r = Weight::from(radius);
+        let mut truncated = Vec::new();
+        engine.run(&g, Direction::Forward, [NodeId(0)], r, |s| truncated.push(s));
+        let mut full = Vec::new();
+        engine.run(&g, Direction::Forward, [NodeId(0)], Weight::INFINITY, |s| {
+            full.push(s)
+        });
+        // Every truncated settle appears in the full run with equal dist,
+        // and the truncated set is exactly the ≤ radius prefix.
+        let within: Vec<_> = full.iter().copied().filter(|s| s.dist <= r).collect();
+        prop_assert_eq!(truncated, within);
+    }
+
+    #[test]
+    fn induced_subgraph_is_consistent(rg in random_graph(), pick in proptest::collection::vec(any::<bool>(), 2..30)) {
+        let g = build(&rg);
+        let nodes: Vec<NodeId> = g
+            .nodes()
+            .filter(|u| pick.get(u.index()).copied().unwrap_or(false))
+            .collect();
+        let ind = g.induce(&nodes);
+        prop_assert_eq!(ind.graph.node_count(), nodes.len());
+        // Mapping is a bijection on the selected nodes.
+        for (i, &orig) in ind.original_ids.iter().enumerate() {
+            prop_assert_eq!(ind.to_local(orig), Some(NodeId(i as u32)));
+        }
+        // Edge count equals the number of G edges inside the selection.
+        let expect = g
+            .edges()
+            .filter(|&(u, v, _)| nodes.contains(&u) && nodes.contains(&v))
+            .count();
+        prop_assert_eq!(ind.graph.edge_count(), expect);
+        // And every induced edge preserves some original weight.
+        for (lu, lv, w) in ind.graph.edges() {
+            let (ou, ov) = (ind.to_original(lu), ind.to_original(lv));
+            prop_assert!(g.edges().any(|(a, b, wo)| (a, b, wo) == (ou, ov, w)));
+        }
+    }
+
+    #[test]
+    fn degrees_sum_to_edge_count(rg in random_graph()) {
+        let g = build(&rg);
+        let out: usize = g.nodes().map(|u| g.out_degree(u)).sum();
+        let inn: usize = g.nodes().map(|u| g.in_degree(u)).sum();
+        prop_assert_eq!(out, g.edge_count());
+        prop_assert_eq!(inn, g.edge_count());
+    }
+}

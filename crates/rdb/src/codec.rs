@@ -1,0 +1,133 @@
+//! Row encoding.
+//!
+//! Tuples are stored as compact byte rows (tag + payload per cell) in a
+//! per-table arena, rather than as `Vec<Value>` — at DBLP scale (millions of
+//! tuples) the pointer-per-cell representation would dominate memory.
+
+use crate::value::Value;
+use bytes::{Buf, BufMut, BytesMut};
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_TEXT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+
+/// Encodes one tuple into `buf`.
+pub fn encode_row(values: &[Value], buf: &mut BytesMut) {
+    for v in values {
+        match v {
+            Value::Null => buf.put_u8(TAG_NULL),
+            Value::Int(i) => {
+                buf.put_u8(TAG_INT);
+                buf.put_i64_le(*i);
+            }
+            Value::Text(s) => {
+                buf.put_u8(TAG_TEXT);
+                buf.put_u32_le(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+            Value::Float(x) => {
+                buf.put_u8(TAG_FLOAT);
+                buf.put_f64_le(*x);
+            }
+        }
+    }
+}
+
+/// Decodes a full row of `arity` cells from an arena slice.
+pub fn decode_row(mut bytes: &[u8], arity: usize) -> Vec<Value> {
+    let mut out = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        out.push(decode_value(&mut bytes));
+    }
+    debug_assert!(!bytes.has_remaining(), "trailing bytes after row decode");
+    out
+}
+
+/// Decodes only the cell at `column`, skipping the others cheaply.
+pub fn decode_cell(mut bytes: &[u8], column: usize) -> Value {
+    for _ in 0..column {
+        skip_value(&mut bytes);
+    }
+    decode_value(&mut bytes)
+}
+
+fn decode_value(bytes: &mut &[u8]) -> Value {
+    match bytes.get_u8() {
+        TAG_NULL => Value::Null,
+        TAG_INT => Value::Int(bytes.get_i64_le()),
+        TAG_TEXT => {
+            let len = bytes.get_u32_le() as usize;
+            let (raw, rest) = bytes.split_at(len);
+            let text = std::str::from_utf8(raw).expect("rows store valid UTF-8");
+            *bytes = rest;
+            Value::Text(text.to_owned())
+        }
+        TAG_FLOAT => Value::Float(bytes.get_f64_le()),
+        tag => panic!("corrupt row: unknown tag {tag}"),
+    }
+}
+
+fn skip_value(bytes: &mut &[u8]) {
+    match bytes.get_u8() {
+        TAG_NULL => {}
+        TAG_INT => bytes.advance(8),
+        TAG_TEXT => {
+            let len = bytes.get_u32_le() as usize;
+            bytes.advance(len);
+        }
+        TAG_FLOAT => bytes.advance(8),
+        tag => panic!("corrupt row: unknown tag {tag}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(vals: Vec<Value>) {
+        let mut buf = BytesMut::new();
+        encode_row(&vals, &mut buf);
+        let decoded = decode_row(&buf, vals.len());
+        assert_eq!(decoded, vals);
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        roundtrip(vec![
+            Value::Int(42),
+            Value::Text("community search".into()),
+            Value::Null,
+            Value::Float(2.5),
+        ]);
+    }
+
+    #[test]
+    fn roundtrip_empty_text() {
+        roundtrip(vec![Value::Text(String::new())]);
+    }
+
+    #[test]
+    fn roundtrip_negative_int() {
+        roundtrip(vec![Value::Int(-7)]);
+    }
+
+    #[test]
+    fn decode_single_cell() {
+        let vals = vec![
+            Value::Int(1),
+            Value::Text("skip me".into()),
+            Value::Int(99),
+        ];
+        let mut buf = BytesMut::new();
+        encode_row(&vals, &mut buf);
+        assert_eq!(decode_cell(&buf, 0), Value::Int(1));
+        assert_eq!(decode_cell(&buf, 1), Value::Text("skip me".into()));
+        assert_eq!(decode_cell(&buf, 2), Value::Int(99));
+    }
+
+    #[test]
+    fn unicode_text() {
+        roundtrip(vec![Value::Text("数据库 communauté".into())]);
+    }
+}

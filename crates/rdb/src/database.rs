@@ -1,0 +1,243 @@
+//! A database: a catalog of tables with foreign-key enforcement.
+
+use crate::error::RdbError;
+use crate::schema::{TableId, TableSchema};
+use crate::table::{RowId, Table};
+use crate::value::Value;
+
+/// A reference to one tuple anywhere in the database — the entity that
+/// becomes a node of the database graph `G_D`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TupleRef {
+    /// The tuple's table.
+    pub table: TableId,
+    /// The row within that table.
+    pub row: RowId,
+}
+
+/// An in-memory relational database.
+#[derive(Default)]
+pub struct Database {
+    tables: Vec<Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database { tables: Vec::new() }
+    }
+
+    /// Adds a table and returns its id. Foreign keys may only reference
+    /// tables that already exist (or the table itself).
+    pub fn create_table(&mut self, schema: TableSchema) -> TableId {
+        let id = TableId(self.tables.len() as u32);
+        for fk in &schema.foreign_keys {
+            assert!(
+                fk.target.0 <= id.0,
+                "foreign key in {} references table {} that does not exist yet",
+                schema.name,
+                fk.target.0
+            );
+        }
+        self.tables.push(Table::new(schema));
+        id
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total number of tuples across all tables (`n` of `G_D`).
+    pub fn tuple_count(&self) -> usize {
+        self.tables.iter().map(Table::len).sum()
+    }
+
+    /// Access a table by id.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.0 as usize]
+    }
+
+    /// Finds a table by name.
+    pub fn table_by_name(&self, name: &str) -> Result<TableId, RdbError> {
+        self.tables
+            .iter()
+            .position(|t| t.schema().name == name)
+            .map(|i| TableId(i as u32))
+            .ok_or_else(|| RdbError::NoSuchTable {
+                name: name.to_owned(),
+            })
+    }
+
+    /// Iterates table ids.
+    pub fn tables(&self) -> impl Iterator<Item = TableId> {
+        (0..self.tables.len() as u32).map(TableId)
+    }
+
+    /// Inserts a row, enforcing primary-key uniqueness, types, and every
+    /// declared foreign key (`Null` foreign keys are allowed and simply
+    /// contribute no edge).
+    pub fn insert(&mut self, table: TableId, values: &[Value]) -> Result<TupleRef, RdbError> {
+        // Validate foreign keys first (immutable borrows).
+        let schema = self.tables[table.0 as usize].schema().clone();
+        for fk in &schema.foreign_keys {
+            let v = &values
+                .get(fk.column.0 as usize)
+                .ok_or_else(|| RdbError::ArityMismatch {
+                    table: schema.name.clone(),
+                    expected: schema.arity(),
+                    got: values.len(),
+                })?;
+            if v.is_null() {
+                continue;
+            }
+            let key = v.as_int().ok_or_else(|| RdbError::TypeMismatch {
+                table: schema.name.clone(),
+                column: schema.columns[fk.column.0 as usize].name.clone(),
+                index: fk.column.0 as usize,
+            })?;
+            if self.tables[fk.target.0 as usize]
+                .by_primary_key(key)
+                .is_none()
+            {
+                return Err(RdbError::ForeignKeyViolation {
+                    table: schema.name.clone(),
+                    column: schema.columns[fk.column.0 as usize].name.clone(),
+                    key,
+                });
+            }
+        }
+        let row = self.tables[table.0 as usize].insert_unchecked_fk(values)?;
+        Ok(TupleRef { table, row })
+    }
+
+    /// Resolves a foreign-key reference of `tuple` at the fk with index
+    /// `fk_idx` in its table's declaration order, if non-NULL.
+    pub fn resolve_fk(&self, tuple: TupleRef, fk_idx: usize) -> Option<TupleRef> {
+        let t = self.table(tuple.table);
+        let fk = &t.schema().foreign_keys[fk_idx];
+        let key = t.cell(tuple.row, fk.column).as_int()?;
+        let row = self.table(fk.target).by_primary_key(key)?;
+        Some(TupleRef {
+            table: fk.target,
+            row,
+        })
+    }
+
+    /// Total bytes in all row arenas (the "raw dataset size" reported next
+    /// to index sizes in the paper's Sec. VII).
+    pub fn byte_size(&self) -> usize {
+        self.tables.iter().map(Table::byte_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::ColumnType;
+
+    /// The paper's DBLP schema: Author(Aid, Name), Paper(Pid, Title),
+    /// Write(Aid, Pid), Cite(Pid1, Pid2).
+    pub fn dblp_schema(db: &mut Database) -> (TableId, TableId, TableId, TableId) {
+        let author = db.create_table(
+            TableSchema::new(
+                "Author",
+                vec![
+                    ColumnDef::new("Aid", ColumnType::Int),
+                    ColumnDef::full_text("Name"),
+                ],
+            )
+            .with_primary_key("Aid"),
+        );
+        let paper = db.create_table(
+            TableSchema::new(
+                "Paper",
+                vec![
+                    ColumnDef::new("Pid", ColumnType::Int),
+                    ColumnDef::full_text("Title"),
+                ],
+            )
+            .with_primary_key("Pid"),
+        );
+        let write = db.create_table(
+            TableSchema::new(
+                "Write",
+                vec![
+                    ColumnDef::new("Aid", ColumnType::Int),
+                    ColumnDef::new("Pid", ColumnType::Int),
+                ],
+            )
+            .with_foreign_key("Aid", author)
+            .with_foreign_key("Pid", paper),
+        );
+        let cite = db.create_table(
+            TableSchema::new(
+                "Cite",
+                vec![
+                    ColumnDef::new("Pid1", ColumnType::Int),
+                    ColumnDef::new("Pid2", ColumnType::Int),
+                ],
+            )
+            .with_foreign_key("Pid1", paper)
+            .with_foreign_key("Pid2", paper),
+        );
+        (author, paper, write, cite)
+    }
+
+    #[test]
+    fn insert_with_fks() {
+        let mut db = Database::new();
+        let (author, paper, write, _) = dblp_schema(&mut db);
+        db.insert(author, &[Value::Int(1), Value::from("John Smith")])
+            .unwrap();
+        db.insert(paper, &[Value::Int(1), Value::from("paper1")])
+            .unwrap();
+        let w = db.insert(write, &[Value::Int(1), Value::Int(1)]).unwrap();
+        assert_eq!(db.tuple_count(), 3);
+        // FK resolution.
+        let a = db.resolve_fk(w, 0).unwrap();
+        assert_eq!(a.table, author);
+        let p = db.resolve_fk(w, 1).unwrap();
+        assert_eq!(p.table, paper);
+    }
+
+    #[test]
+    fn dangling_fk_rejected() {
+        let mut db = Database::new();
+        let (_, _, write, _) = dblp_schema(&mut db);
+        let err = db.insert(write, &[Value::Int(7), Value::Int(7)]).unwrap_err();
+        assert!(matches!(err, RdbError::ForeignKeyViolation { key: 7, .. }));
+    }
+
+    #[test]
+    fn null_fk_allowed() {
+        let mut db = Database::new();
+        let (author, _, write, _) = dblp_schema(&mut db);
+        db.insert(author, &[Value::Int(1), Value::from("A")]).unwrap();
+        let w = db.insert(write, &[Value::Int(1), Value::Null]).unwrap();
+        assert_eq!(db.resolve_fk(w, 1), None);
+    }
+
+    #[test]
+    fn table_by_name() {
+        let mut db = Database::new();
+        let (author, ..) = dblp_schema(&mut db);
+        assert_eq!(db.table_by_name("Author"), Ok(author));
+        assert!(matches!(
+            db.table_by_name("Missing"),
+            Err(RdbError::NoSuchTable { .. })
+        ));
+        assert_eq!(db.table_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn forward_fk_rejected() {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new("T", vec![ColumnDef::new("x", ColumnType::Int)])
+                .with_foreign_key("x", TableId(5)),
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for the relational layer.
+
+use std::fmt;
+
+/// Errors raised by schema validation and insertion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RdbError {
+    /// A row had the wrong number of cells.
+    ArityMismatch {
+        /// Table name.
+        table: String,
+        /// Declared arity.
+        expected: usize,
+        /// Provided arity.
+        got: usize,
+    },
+    /// A cell did not match its column's type.
+    TypeMismatch {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+        /// Cell index.
+        index: usize,
+    },
+    /// The primary-key cell was `Null`.
+    NullPrimaryKey {
+        /// Table name.
+        table: String,
+    },
+    /// A primary key was inserted twice.
+    DuplicateKey {
+        /// Table name.
+        table: String,
+        /// Offending key.
+        key: i64,
+    },
+    /// A foreign key referenced a missing row.
+    ForeignKeyViolation {
+        /// Referencing table name.
+        table: String,
+        /// Referencing column name.
+        column: String,
+        /// The dangling key value.
+        key: i64,
+    },
+    /// A table name was not found in the database.
+    NoSuchTable {
+        /// The missing name.
+        name: String,
+    },
+}
+
+impl fmt::Display for RdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdbError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => write!(f, "table {table}: expected {expected} cells, got {got}"),
+            RdbError::TypeMismatch {
+                table,
+                column,
+                index,
+            } => write!(f, "table {table}: cell {index} does not match column {column}"),
+            RdbError::NullPrimaryKey { table } => {
+                write!(f, "table {table}: primary key may not be NULL")
+            }
+            RdbError::DuplicateKey { table, key } => {
+                write!(f, "table {table}: duplicate primary key {key}")
+            }
+            RdbError::ForeignKeyViolation { table, column, key } => {
+                write!(f, "table {table}.{column}: dangling foreign key {key}")
+            }
+            RdbError::NoSuchTable { name } => write!(f, "no table named {name}"),
+        }
+    }
+}
+
+impl std::error::Error for RdbError {}

@@ -1,0 +1,165 @@
+//! Tokenization and the relational full-text index.
+//!
+//! The paper assumes "the full text index [1]" to map each query keyword
+//! `k_i` to the node set `V_i` (Algorithm 1, line 2). We build it over every
+//! column marked `full_text` in the schema.
+
+use crate::database::{Database, TupleRef};
+use std::collections::HashMap;
+
+/// Splits text into lowercase alphanumeric tokens.
+///
+/// ```
+/// use comm_rdb::tokenize;
+/// let toks: Vec<_> = tokenize("Keyword Search, on relational-databases!").collect();
+/// assert_eq!(toks, vec!["keyword", "search", "on", "relational", "databases"]);
+/// ```
+pub fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+}
+
+/// Keyword → tuples containing it, over every full-text column.
+#[derive(Default)]
+pub struct FullTextIndex {
+    postings: HashMap<String, Vec<TupleRef>>,
+}
+
+impl FullTextIndex {
+    /// Builds the index by scanning the whole database once.
+    pub fn build(db: &Database) -> FullTextIndex {
+        let mut postings: HashMap<String, Vec<TupleRef>> = HashMap::new();
+        for table_id in db.tables() {
+            let table = db.table(table_id);
+            let ft_cols: Vec<_> = table.schema().full_text_columns().collect();
+            if ft_cols.is_empty() {
+                continue;
+            }
+            for row in table.rows() {
+                for &col in &ft_cols {
+                    if let Some(text) = table.cell(row, col).as_text() {
+                        for token in tokenize(text) {
+                            let list = postings.entry(token).or_default();
+                            let tref = TupleRef {
+                                table: table_id,
+                                row,
+                            };
+                            // A tuple mentioning the token twice is posted once.
+                            if list.last() != Some(&tref) {
+                                list.push(tref);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for list in postings.values_mut() {
+            list.sort_unstable();
+            list.dedup();
+        }
+        FullTextIndex { postings }
+    }
+
+    /// The tuples containing `keyword` (lowercased exact token match).
+    pub fn lookup(&self, keyword: &str) -> &[TupleRef] {
+        self.postings
+            .get(&keyword.to_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct indexed keywords.
+    pub fn keyword_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Iterates `(keyword, postings)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[TupleRef])> {
+        self.postings
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// The *keyword frequency* of the paper's Tables II–V: the fraction of
+    /// all tuples that contain `keyword`.
+    pub fn keyword_frequency(&self, keyword: &str, total_tuples: usize) -> f64 {
+        if total_tuples == 0 {
+            0.0
+        } else {
+            self.lookup(keyword).len() as f64 / total_tuples as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, TableSchema};
+    use crate::value::{ColumnType, Value};
+
+    fn tiny_db() -> Database {
+        let mut db = Database::new();
+        let t = db.create_table(
+            TableSchema::new(
+                "Paper",
+                vec![
+                    ColumnDef::new("Pid", ColumnType::Int),
+                    ColumnDef::full_text("Title"),
+                ],
+            )
+            .with_primary_key("Pid"),
+        );
+        db.insert(t, &[Value::Int(1), Value::from("Keyword Search in Databases")])
+            .unwrap();
+        db.insert(t, &[Value::Int(2), Value::from("Graph search and search trees")])
+            .unwrap();
+        db.insert(t, &[Value::Int(3), Value::from("Community detection")])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn tokenizer_basics() {
+        let toks: Vec<_> = tokenize("Top-K  queries (fast)").collect();
+        assert_eq!(toks, vec!["top", "k", "queries", "fast"]);
+        assert_eq!(tokenize("").count(), 0);
+        assert_eq!(tokenize("---").count(), 0);
+    }
+
+    #[test]
+    fn lookup_case_insensitive() {
+        let db = tiny_db();
+        let idx = FullTextIndex::build(&db);
+        assert_eq!(idx.lookup("SEARCH").len(), 2);
+        assert_eq!(idx.lookup("search").len(), 2);
+        assert_eq!(idx.lookup("community").len(), 1);
+        assert_eq!(idx.lookup("missing").len(), 0);
+    }
+
+    #[test]
+    fn duplicate_token_posted_once() {
+        let db = tiny_db();
+        let idx = FullTextIndex::build(&db);
+        // "search" appears twice in row 2 but is posted once.
+        assert_eq!(idx.lookup("search").len(), 2);
+    }
+
+    #[test]
+    fn keyword_frequency() {
+        let db = tiny_db();
+        let idx = FullTextIndex::build(&db);
+        let f = idx.keyword_frequency("search", db.tuple_count());
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(idx.keyword_frequency("x", 0), 0.0);
+    }
+
+    #[test]
+    fn keyword_count_and_iter() {
+        let db = tiny_db();
+        let idx = FullTextIndex::build(&db);
+        assert!(idx.keyword_count() >= 7);
+        let total: usize = idx.iter().map(|(_, p)| p.len()).sum();
+        assert!(total >= idx.keyword_count());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the relational layer: codec roundtrips, constraint
+//! enforcement, tokenizer/index agreement, and graph materialization
+//! invariants.
+
+use comm_rdb::{
+    tokenize, ColumnDef, ColumnId, ColumnType, Database, DatabaseGraph, EdgeMode, FullTextIndex,
+    TableSchema, Value, WeightScheme,
+};
+use proptest::prelude::*;
+
+fn arbitrary_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        "[a-zA-Z0-9 àßç]{0,40}".prop_map(Value::Text),
+        (-1e12f64..1e12).prop_map(Value::Float),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Rows written through a table come back bit-identical, cell by cell.
+    #[test]
+    fn row_storage_roundtrip(texts in proptest::collection::vec("[a-z가-힣 ]{0,30}", 1..30)) {
+        let mut db = Database::new();
+        let t = db.create_table(
+            TableSchema::new(
+                "T",
+                vec![
+                    ColumnDef::new("id", ColumnType::Int),
+                    ColumnDef::full_text("body"),
+                ],
+            )
+            .with_primary_key("id"),
+        );
+        for (i, text) in texts.iter().enumerate() {
+            db.insert(t, &[Value::Int(i as i64), Value::Text(text.clone())]).unwrap();
+        }
+        let table = db.table(t);
+        for (i, text) in texts.iter().enumerate() {
+            let row = table.by_primary_key(i as i64).expect("pk exists");
+            prop_assert_eq!(table.cell(row, ColumnId(1)), Value::Text(text.clone()));
+            prop_assert_eq!(
+                table.row(row),
+                vec![Value::Int(i as i64), Value::Text(text.clone())]
+            );
+        }
+    }
+
+    /// Arbitrary typed rows survive storage when types line up.
+    #[test]
+    fn heterogeneous_rows_roundtrip(rows in proptest::collection::vec(
+        (any::<i64>(), arbitrary_value(), arbitrary_value()), 1..25)) {
+        let mut db = Database::new();
+        let t = db.create_table(TableSchema::new(
+            "U",
+            vec![
+                ColumnDef::new("k", ColumnType::Int),
+                ColumnDef::new("a", ColumnType::Text),
+                ColumnDef::new("b", ColumnType::Float),
+            ],
+        ));
+        let mut inserted = Vec::new();
+        for (k, a, b) in rows {
+            // Coerce to the column types (Null always allowed).
+            let a = match a { Value::Text(s) => Value::Text(s), _ => Value::Null };
+            let b = match b { Value::Float(f) => Value::Float(f), _ => Value::Null };
+            let vals = vec![Value::Int(k), a, b];
+            db.insert(t, &vals).unwrap();
+            inserted.push(vals);
+        }
+        let table = db.table(t);
+        for (row, vals) in table.rows().zip(&inserted) {
+            prop_assert_eq!(&table.row(row), vals);
+        }
+    }
+
+    /// The full-text index finds exactly the rows whose tokenization
+    /// contains the keyword.
+    #[test]
+    fn full_text_index_is_exact(titles in proptest::collection::vec("[a-c ]{0,12}", 1..25)) {
+        let mut db = Database::new();
+        let t = db.create_table(TableSchema::new(
+            "D",
+            vec![ColumnDef::new("id", ColumnType::Int), ColumnDef::full_text("s")],
+        ).with_primary_key("id"));
+        for (i, title) in titles.iter().enumerate() {
+            db.insert(t, &[Value::Int(i as i64), Value::Text(title.clone())]).unwrap();
+        }
+        let idx = FullTextIndex::build(&db);
+        for probe in ["a", "ab", "abc", "b", "c"] {
+            let hits: Vec<usize> = idx
+                .lookup(probe)
+                .iter()
+                .map(|r| r.row.0 as usize)
+                .collect();
+            let expect: Vec<usize> = titles
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| tokenize(s).any(|tok| tok == probe))
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(hits, expect, "probe {}", probe);
+        }
+    }
+
+    /// Materialization invariants: node per tuple, bi-directed edge pairs,
+    /// weights follow the scheme, and provenance is a bijection.
+    #[test]
+    fn materialization_invariants(links in proptest::collection::vec((0i64..15, 0i64..15), 0..60)) {
+        let mut db = Database::new();
+        let people = db.create_table(TableSchema::new(
+            "P",
+            vec![ColumnDef::new("id", ColumnType::Int), ColumnDef::full_text("name")],
+        ).with_primary_key("id"));
+        for i in 0..15 {
+            db.insert(people, &[Value::Int(i), Value::Text(format!("p{i}"))]).unwrap();
+        }
+        let follows = db.create_table(
+            TableSchema::new(
+                "F",
+                vec![ColumnDef::new("src", ColumnType::Int), ColumnDef::new("dst", ColumnType::Int)],
+            )
+            .with_foreign_key("src", people)
+            .with_foreign_key("dst", people),
+        );
+        for &(a, b) in &links {
+            db.insert(follows, &[Value::Int(a), Value::Int(b)]).unwrap();
+        }
+        let dg = DatabaseGraph::materialize(&db, WeightScheme::LogInDegree, EdgeMode::BiDirected);
+        prop_assert_eq!(dg.graph.node_count(), db.tuple_count());
+        prop_assert_eq!(dg.graph.edge_count(), 4 * links.len());
+        for (_, v, w) in dg.graph.edges() {
+            let expect = (1.0 + dg.graph.in_degree(v) as f64).log2();
+            prop_assert!((w.get() - expect).abs() < 1e-12);
+        }
+        for node in dg.graph.nodes() {
+            prop_assert_eq!(dg.node_of(dg.tuple_of(node)), Some(node));
+        }
+    }
+}
