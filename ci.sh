@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: build, test, format, lint. Run locally before pushing;
+# .github/workflows/ci.yml runs the same sequence.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> ci OK"

@@ -33,9 +33,7 @@ fn bench_fibheap(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut h = FibHeap::with_capacity(5_000);
-                let handles: Vec<_> = (0..5_000u64)
-                    .map(|i| h.push(1_000_000 + i, i))
-                    .collect();
+                let handles: Vec<_> = (0..5_000u64).map(|i| h.push(1_000_000 + i, i)).collect();
                 (h, handles)
             },
             |(mut h, handles)| {
@@ -85,7 +83,13 @@ fn bench_dijkstra(c: &mut Criterion) {
         let mut engine = DijkstraEngine::new(g.node_count());
         b.iter(|| {
             let mut n = 0usize;
-            engine.run(&g, Direction::Reverse, sets[0].iter().copied(), spec.rmax, |_| n += 1);
+            engine.run(
+                &g,
+                Direction::Reverse,
+                sets[0].iter().copied(),
+                spec.rmax,
+                |_| n += 1,
+            );
             black_box(n)
         })
     });
@@ -93,7 +97,13 @@ fn bench_dijkstra(c: &mut Criterion) {
         let mut engine = FibDijkstraEngine::new(g.node_count());
         b.iter(|| {
             let mut n = 0usize;
-            engine.run(&g, Direction::Reverse, sets[0].iter().copied(), spec.rmax, |_| n += 1);
+            engine.run(
+                &g,
+                Direction::Reverse,
+                sets[0].iter().copied(),
+                spec.rmax,
+                |_| n += 1,
+            );
             black_box(n)
         })
     });

@@ -1,6 +1,6 @@
 //! End-to-end probe at the paper's full DBLP scale: index build time,
 //! projection ratios, and query timings — directly comparable to Sec. VII.
-use comm_core::{bu_all, bu_topk, td_all, td_topk, CommAll, ProjectionIndex, comm_k};
+use comm_core::{bu_all, bu_topk, comm_k, td_all, td_topk, CommAll, ProjectionIndex};
 use comm_datasets::workload::{query_keywords, DBLP_GRID, DBLP_KEYWORD_GROUPS};
 use comm_datasets::{generate_dblp, DblpConfig};
 use comm_graph::{NodeId, Weight};
@@ -9,17 +9,35 @@ use std::time::Instant;
 fn main() {
     let t0 = Instant::now();
     let ds = generate_dblp(&DblpConfig::paper_scale());
-    println!("[gen] n={} m={} in {:?}", ds.graph.graph.node_count(), ds.graph.graph.edge_count(), t0.elapsed());
+    println!(
+        "[gen] n={} m={} in {:?}",
+        ds.graph.graph.node_count(),
+        ds.graph.graph.edge_count(),
+        t0.elapsed()
+    );
     let grid = &DBLP_GRID;
     let (dkwf, dl, drmax, k) = grid.defaults;
     // Index over all benchmark keywords (the paper indexes everything; we
     // index the workload vocabulary).
-    let entries: Vec<(&str, &[NodeId])> = DBLP_KEYWORD_GROUPS.iter()
-        .flat_map(|g| g.keywords.iter().map(|&kw| (kw, ds.graph.keyword_nodes(kw))))
+    let entries: Vec<(&str, &[NodeId])> = DBLP_KEYWORD_GROUPS
+        .iter()
+        .flat_map(|g| {
+            g.keywords
+                .iter()
+                .map(|&kw| (kw, ds.graph.keyword_nodes(kw)))
+        })
         .collect();
     let t0 = Instant::now();
-    let idx = ProjectionIndex::build(&ds.graph.graph, entries, Weight::new(*grid.rmax.last().unwrap()));
-    println!("[index] built in {:?}, {:.1} MB", t0.elapsed(), idx.byte_size() as f64/1048576.0);
+    let idx = ProjectionIndex::build(
+        &ds.graph.graph,
+        entries,
+        Weight::new(*grid.rmax.last().unwrap()),
+    );
+    println!(
+        "[index] built in {:?}, {:.1} MB",
+        t0.elapsed(),
+        idx.byte_size() as f64 / 1048576.0
+    );
     // Projection ratios across the kwf grid (paper: max 1.2%, avg 0.4%).
     let mut ratios = vec![];
     for &kwf in grid.kwf {
@@ -31,30 +49,64 @@ fn main() {
     }
     let max = ratios.iter().cloned().fold(0.0f64, f64::max);
     let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-    println!("[proj] over {} cells: max {:.3}% avg {:.3}%", ratios.len(), 100.0*max, 100.0*avg);
+    println!(
+        "[proj] over {} cells: max {:.3}% avg {:.3}%",
+        ratios.len(),
+        100.0 * max,
+        100.0 * avg
+    );
     // Default cell head-to-head.
     let kws = query_keywords(DBLP_KEYWORD_GROUPS, dkwf, dl);
     let t0 = Instant::now();
     let pq = idx.project(&kws, Weight::new(drmax)).unwrap();
-    println!("[proj-default] n={} m={} in {:?}", pq.projected.graph.node_count(), pq.projected.graph.edge_count(), t0.elapsed());
+    println!(
+        "[proj-default] n={} m={} in {:?}",
+        pq.projected.graph.node_count(),
+        pq.projected.graph.edge_count(),
+        t0.elapsed()
+    );
     let g = &pq.projected.graph;
     let cap = 2000;
     let t0 = Instant::now();
     let mut it = CommAll::new(g, &pq.spec);
-    let mut n = 0; while n < cap && it.next().is_some() { n += 1; }
-    println!("[PDall] {} in {:?} mem {}", n, t0.elapsed(), it.peak_memory_bytes());
+    let mut n = 0;
+    while n < cap && it.next().is_some() {
+        n += 1;
+    }
+    println!(
+        "[PDall] {} in {:?} mem {}",
+        n,
+        t0.elapsed(),
+        it.peak_memory_bytes()
+    );
     let t0 = Instant::now();
     let bu = bu_all(g, &pq.spec, Some(cap));
-    println!("[BUall] {} in {:?} cand {} mem {}", bu.communities.len(), t0.elapsed(), bu.stats.candidates, bu.stats.peak_bytes);
+    println!(
+        "[BUall] {} in {:?} cand {} mem {}",
+        bu.communities.len(),
+        t0.elapsed(),
+        bu.stats.candidates,
+        bu.stats.peak_bytes
+    );
     let t0 = Instant::now();
     let td = td_all(g, &pq.spec, Some(cap));
-    println!("[TDall] {} in {:?} mem {}", td.communities.len(), t0.elapsed(), td.stats.peak_bytes);
+    println!(
+        "[TDall] {} in {:?} mem {}",
+        td.communities.len(),
+        t0.elapsed(),
+        td.stats.peak_bytes
+    );
     let t0 = Instant::now();
     let pd = comm_k(g, &pq.spec, k);
     println!("[PDk] top-{} in {:?}", pd.len(), t0.elapsed());
     let t0 = Instant::now();
     let buk = bu_topk(g, &pq.spec, k, Some(20_000_000));
-    println!("[BUk] done={} cand={} in {:?}", buk.stats.completed, buk.stats.candidates, t0.elapsed());
+    println!(
+        "[BUk] done={} cand={} in {:?}",
+        buk.stats.completed,
+        buk.stats.candidates,
+        t0.elapsed()
+    );
     let t0 = Instant::now();
     let tdk = td_topk(g, &pq.spec, k, Some(20_000_000));
     println!("[TDk] done={} in {:?}", tdk.stats.completed, t0.elapsed());

@@ -15,7 +15,8 @@
 use crate::setup::{imdb_config, Prepared, Scale};
 use crate::table::{fmt_bytes, fmt_ms, Table};
 use comm_core::{
-    bu_all, bu_topk, comm_k, td_all, td_topk, BaselineRun, CommAll, CommK, QuerySpec,
+    bu_all, bu_topk_guarded, comm_k, td_all, td_topk_guarded, BaselineRun, CommAll, CommK, Outcome,
+    QuerySpec, RunGuard,
 };
 use comm_datasets::generate_imdb;
 use comm_datasets::paper_example::{fig4_graph, fig4_keyword_nodes, FIG4_RMAX};
@@ -28,10 +29,11 @@ pub struct Caps {
     /// COMM-all truncation: every algorithm stops after this many
     /// communities.
     pub all_cap: usize,
-    /// Candidate budget for BUk/TDk (they cannot truncate and must
-    /// enumerate every candidate before ranking; past this budget the cell
-    /// is reported DNF).
-    pub candidate_budget: usize,
+    /// Wall-clock deadline for BUk/TDk cells (they cannot truncate and
+    /// must enumerate every candidate before ranking, so a cell would
+    /// otherwise be unbounded; past the deadline the `RunGuard` trips and
+    /// the cell is reported DNF with the interrupt reason).
+    pub cell_deadline: Duration,
 }
 
 impl Caps {
@@ -40,17 +42,31 @@ impl Caps {
         match scale {
             Scale::Full => Caps {
                 all_cap: 1500,
-                candidate_budget: 6_000_000,
+                cell_deadline: Duration::from_secs(20),
             },
             Scale::Quick => Caps {
                 all_cap: 120,
-                candidate_budget: 150_000,
+                cell_deadline: Duration::from_secs(2),
             },
             Scale::Paper => Caps {
                 all_cap: 2000,
-                candidate_budget: 20_000_000,
+                cell_deadline: Duration::from_secs(90),
             },
         }
+    }
+
+    /// A fresh per-cell guard carrying the deadline.
+    fn guard(&self) -> RunGuard {
+        RunGuard::new().with_deadline(self.cell_deadline)
+    }
+}
+
+/// Unwraps a guarded baseline run; an interrupted cell keeps its partial
+/// stats (`stats.interrupted` records why) for DNF reporting.
+fn deadline_run(out: Result<Outcome<BaselineRun>, comm_core::QueryError>) -> BaselineRun {
+    match out.expect("bench query specs are valid") {
+        Outcome::Complete(run) => run,
+        Outcome::Interrupted { partial, .. } => partial,
     }
 }
 
@@ -80,7 +96,11 @@ fn run_pd_all(g: &comm_graph::Graph, spec: &QuerySpec, cap: usize) -> AllCell {
     let elapsed = ms(t0.elapsed());
     AllCell {
         found,
-        delay_ms: if found == 0 { f64::NAN } else { elapsed / found as f64 },
+        delay_ms: if found == 0 {
+            f64::NAN
+        } else {
+            elapsed / found as f64
+        },
         mem: it.peak_memory_bytes(),
     }
 }
@@ -108,10 +128,7 @@ pub fn comm_all_figure(p: &Prepared, caps: Caps, fig: &str) -> Vec<Table> {
             p.grid.kwf.iter().map(|&kwf| (kwf, dl, drmax)).collect(),
         ),
         ("l", p.grid.l.iter().map(|&l| (dkwf, l, drmax)).collect()),
-        (
-            "Rmax",
-            p.grid.rmax.iter().map(|&r| (dkwf, dl, r)).collect(),
-        ),
+        ("Rmax", p.grid.rmax.iter().map(|&r| (dkwf, dl, r)).collect()),
     ];
     let mut tables = Vec::new();
     for (si, (axis, cells)) in sweeps.into_iter().enumerate() {
@@ -171,16 +188,24 @@ fn topk_row(p: &Prepared, caps: Caps, kwf: f64, l: usize, rmax: f64, k: usize) -
     let pd = comm_k(g, &pq.spec, k);
     let t_pd = t0.elapsed();
     let t0 = Instant::now();
-    let bu = bu_topk(g, &pq.spec, k, Some(caps.candidate_budget));
+    let bu = deadline_run(bu_topk_guarded(g, &pq.spec, k, None, caps.guard()));
     let t_bu = t0.elapsed();
     let t0 = Instant::now();
-    let td = td_topk(g, &pq.spec, k, Some(caps.candidate_budget));
+    let td = deadline_run(td_topk_guarded(g, &pq.spec, k, None, caps.guard()));
     let t_td = t0.elapsed();
     let fmt_baseline = |run: &BaselineRun, t: Duration| {
         if run.stats.completed {
             fmt_ms(ms(t))
         } else {
-            format!("DNF (>{} cand. in {})", run.stats.candidates, fmt_ms(ms(t)))
+            let why = run
+                .stats
+                .interrupted
+                .map_or_else(|| "budget".to_owned(), |r| r.to_string());
+            format!(
+                "DNF ({why}; {} cand. in {})",
+                run.stats.candidates,
+                fmt_ms(ms(t))
+            )
         }
     };
     vec![
@@ -200,22 +225,25 @@ pub fn comm_k_figure(p: &Prepared, caps: Caps, fig: &str) -> Vec<Table> {
             "KWF",
             p.grid.kwf.iter().map(|&x| (x, dl, drmax, dk)).collect(),
         ),
-        ("l", p.grid.l.iter().map(|&x| (dkwf, x, drmax, dk)).collect()),
+        (
+            "l",
+            p.grid.l.iter().map(|&x| (dkwf, x, drmax, dk)).collect(),
+        ),
         (
             "Rmax",
             p.grid.rmax.iter().map(|&x| (dkwf, dl, x, dk)).collect(),
         ),
-        ("k", p.grid.k.iter().map(|&x| (dkwf, dl, drmax, x)).collect()),
+        (
+            "k",
+            p.grid.k.iter().map(|&x| (dkwf, dl, drmax, x)).collect(),
+        ),
     ];
     let mut tables = Vec::new();
     for (si, (axis, cells)) in axes.into_iter().enumerate() {
         let panel = (b'a' + si as u8) as char;
         let mut t = Table::new(
             &format!("{fig}{panel}"),
-            &format!(
-                "{} COMM-k total time vs {axis}",
-                p.name.to_uppercase()
-            ),
+            &format!("{} COMM-k total time vs {axis}", p.name.to_uppercase()),
             &[axis, "emitted", "PDk", "BUk", "TDk"],
         );
         for (kwf, l, rmax, k) in cells {
@@ -230,8 +258,8 @@ pub fn comm_k_figure(p: &Prepared, caps: Caps, fig: &str) -> Vec<Table> {
             t.push_row(row);
         }
         t.note(format!(
-            "BUk/TDk must enumerate every candidate before ranking; cells exceeding the {}-candidate budget are DNF",
-            caps.candidate_budget
+            "BUk/TDk must enumerate every candidate before ranking; cells exceeding the {:?} per-cell deadline are DNF",
+            caps.cell_deadline
         ));
         tables.push(t);
     }
@@ -244,8 +272,8 @@ pub fn comm_k_figure(p: &Prepared, caps: Caps, fig: &str) -> Vec<Table> {
     while emitted < dk && it.next().is_some() {
         emitted += 1;
     }
-    let bu = bu_topk(g, &pq.spec, dk, Some(caps.candidate_budget));
-    let td = td_topk(g, &pq.spec, dk, Some(caps.candidate_budget));
+    let bu = deadline_run(bu_topk_guarded(g, &pq.spec, dk, None, caps.guard()));
+    let td = deadline_run(td_topk_guarded(g, &pq.spec, dk, None, caps.guard()));
     let mut t = Table::new(
         &format!("{fig}-mem"),
         &format!(
@@ -276,7 +304,12 @@ pub fn interactive_figure(p: &Prepared, caps: Caps) -> Table {
             "{} interactive top-k: time to produce the NEXT 50 after top-k",
             p.name.to_uppercase()
         ),
-        &["k", "PDk (+50 resumed)", "BUk (recompute k+50)", "TDk (recompute k+50)"],
+        &[
+            "k",
+            "PDk (+50 resumed)",
+            "BUk (recompute k+50)",
+            "TDk (recompute k+50)",
+        ],
     );
     for &k in p.grid.k {
         // PDk: consume k, then time the 50-community continuation only.
@@ -293,16 +326,19 @@ pub fn interactive_figure(p: &Prepared, caps: Caps) -> Table {
         let t_pd = t0.elapsed();
         // BUk/TDk: the paper's point — they re-run the whole query.
         let t0 = Instant::now();
-        let bu = bu_topk(g, &pq.spec, k + 50, Some(caps.candidate_budget));
+        let bu = deadline_run(bu_topk_guarded(g, &pq.spec, k + 50, None, caps.guard()));
         let t_bu = t0.elapsed();
         let t0 = Instant::now();
-        let td = td_topk(g, &pq.spec, k + 50, Some(caps.candidate_budget));
+        let td = deadline_run(td_topk_guarded(g, &pq.spec, k + 50, None, caps.guard()));
         let t_td = t0.elapsed();
         let fmt_b = |run: &BaselineRun, d: Duration| {
             if run.stats.completed {
                 fmt_ms(ms(d))
             } else {
-                "DNF".to_owned()
+                match run.stats.interrupted {
+                    Some(r) => format!("DNF ({r})"),
+                    None => "DNF".to_owned(),
+                }
             }
         };
         t.push_row(vec![
@@ -345,8 +381,15 @@ pub fn index_stats(p: &Prepared) -> Table {
         &format!("index-{}", p.name),
         &format!("{} indexing and graph projection", p.name.to_uppercase()),
         &[
-            "tuples", "nodes", "edges", "raw size", "index size", "index build",
-            "max proj", "avg proj", "avg projection time",
+            "tuples",
+            "nodes",
+            "edges",
+            "raw size",
+            "index size",
+            "index build",
+            "max proj",
+            "avg proj",
+            "avg projection time",
         ],
     );
     t.push_row(vec![
@@ -395,8 +438,14 @@ pub fn ablation_density(scale: Scale, caps: Caps) -> Table {
         "ablation-density",
         "IMDB rating density vs duplication burden (defaults query, top-150)",
         &[
-            "avg ratings/user", "graph n", "proj n", "BUk candidates", "dup factor",
-            "PDk(150)", "BUk(150)", "BUk/PDk",
+            "avg ratings/user",
+            "graph n",
+            "proj n",
+            "BUk candidates",
+            "dup factor",
+            "PDk(150)",
+            "BUk(150)",
+            "BUk/PDk",
         ],
     );
     let sweep: &[f64] = match scale {
@@ -415,11 +464,7 @@ pub fn ablation_density(scale: Scale, caps: Caps) -> Table {
             .iter()
             .map(|&kw| (kw, ds.graph.keyword_nodes(kw)))
             .collect();
-        let idx = comm_core::ProjectionIndex::build(
-            &ds.graph.graph,
-            entries,
-            Weight::new(drmax),
-        );
+        let idx = comm_core::ProjectionIndex::build(&ds.graph.graph, entries, Weight::new(drmax));
         let Some(pq) = idx.project(&kws, Weight::new(drmax)) else {
             continue;
         };
@@ -428,7 +473,7 @@ pub fn ablation_density(scale: Scale, caps: Caps) -> Table {
         let pd = comm_k(g, &pq.spec, dk);
         let t_pd = t0.elapsed();
         let t0 = Instant::now();
-        let bu = bu_topk(g, &pq.spec, dk, Some(caps.candidate_budget));
+        let bu = deadline_run(bu_topk_guarded(g, &pq.spec, dk, None, caps.guard()));
         let t_bu = t0.elapsed();
         let distinct = bu.stats.candidates - bu.stats.duplicates;
         let dup = if distinct == 0 {
@@ -474,7 +519,12 @@ pub fn ablation_lawler(p: &Prepared, caps: Caps) -> Table {
             p.name.to_uppercase()
         ),
         &[
-            "l", "emitted", "PDk time", "Lawler time", "PDk sweeps", "Lawler sweeps",
+            "l",
+            "emitted",
+            "PDk time",
+            "Lawler time",
+            "PDk sweeps",
+            "Lawler sweeps",
             "sweep ratio",
         ],
     );
@@ -540,14 +590,26 @@ pub fn ablation_heap(p: &Prepared) -> Table {
     let t0 = Instant::now();
     let mut settled_bin = 0usize;
     for _ in 0..reps {
-        settled_bin = bin.run(g, Direction::Reverse, seeds.iter().copied(), pq.spec.rmax, |_| {});
+        settled_bin = bin.run(
+            g,
+            Direction::Reverse,
+            seeds.iter().copied(),
+            pq.spec.rmax,
+            |_| {},
+        );
     }
     let t_bin = t0.elapsed();
     let mut fib = FibDijkstraEngine::new(g.node_count());
     let t0 = Instant::now();
     let mut settled_fib = 0usize;
     for _ in 0..reps {
-        settled_fib = fib.run(g, Direction::Reverse, seeds.iter().copied(), pq.spec.rmax, |_| {});
+        settled_fib = fib.run(
+            g,
+            Direction::Reverse,
+            seeds.iter().copied(),
+            pq.spec.rmax,
+            |_| {},
+        );
     }
     let t_fib = t0.elapsed();
     assert_eq!(settled_bin, settled_fib, "engines must agree");
@@ -578,7 +640,12 @@ pub fn ablation_projection(p: &Prepared) -> Table {
             p.name.to_uppercase()
         ),
         &[
-            "graph", "nodes", "edges", "projection time", "PDk time", "total",
+            "graph",
+            "nodes",
+            "edges",
+            "projection time",
+            "PDk time",
+            "total",
         ],
     );
     let kws = p.keywords(dkwf, dl);

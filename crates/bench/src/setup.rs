@@ -77,13 +77,7 @@ impl Prepared {
         let t0 = Instant::now();
         let dataset = generate_imdb(&imdb_config(scale));
         let generation = t0.elapsed();
-        Prepared::finish(
-            "imdb",
-            dataset,
-            generation,
-            &IMDB_GRID,
-            IMDB_KEYWORD_GROUPS,
-        )
+        Prepared::finish("imdb", dataset, generation, &IMDB_GRID, IMDB_KEYWORD_GROUPS)
     }
 
     /// Generates the DBLP-like benchmark dataset and its index.
@@ -91,13 +85,7 @@ impl Prepared {
         let t0 = Instant::now();
         let dataset = generate_dblp(&dblp_config(scale));
         let generation = t0.elapsed();
-        Prepared::finish(
-            "dblp",
-            dataset,
-            generation,
-            &DBLP_GRID,
-            DBLP_KEYWORD_GROUPS,
-        )
+        Prepared::finish("dblp", dataset, generation, &DBLP_GRID, DBLP_KEYWORD_GROUPS)
     }
 
     fn finish(

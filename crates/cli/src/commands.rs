@@ -34,6 +34,8 @@ pub enum Command {
         /// Output path (stdout if `None`).
         path: Option<String>,
     },
+    /// `timeout <secs|off>` — set or clear the per-query deadline.
+    Timeout(Option<f64>),
     /// `stats` — dataset statistics.
     Stats,
     /// `help`.
@@ -64,7 +66,9 @@ pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
                 .first()
                 .ok_or_else(|| ParseError("usage: load <dblp|imdb> [scale]".into()))?;
             if !matches!(*dataset, "dblp" | "imdb") {
-                return Err(ParseError(format!("unknown dataset {dataset:?}")));
+                return Err(ParseError(format!(
+                    "unknown dataset {dataset:?} — valid datasets: dblp, imdb"
+                )));
             }
             let scale = match rest.get(1) {
                 None => 1.0,
@@ -86,9 +90,10 @@ pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
             let mut max_cost = false;
             for &tok in rest {
                 if let Some(v) = tok.strip_prefix("rmax=") {
-                    rmax = Some(v.parse::<f64>().map_err(|_| {
-                        ParseError(format!("bad rmax {v:?}"))
-                    })?);
+                    rmax = Some(
+                        v.parse::<f64>()
+                            .map_err(|_| ParseError(format!("bad rmax {v:?}")))?,
+                    );
                 } else if let Some(v) = tok.strip_prefix("k=") {
                     k = v
                         .parse::<usize>()
@@ -148,6 +153,20 @@ pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
                 path: rest.get(1).map(|s| (*s).to_owned()),
             }))
         }
+        "timeout" => {
+            let v = rest
+                .first()
+                .ok_or_else(|| ParseError("usage: timeout <seconds|off>".into()))?;
+            if *v == "off" {
+                return Ok(Some(Command::Timeout(None)));
+            }
+            let secs = v
+                .parse::<f64>()
+                .ok()
+                .filter(|s| *s > 0.0 && s.is_finite())
+                .ok_or_else(|| ParseError(format!("bad timeout {v:?} (seconds > 0, or 'off')")))?;
+            Ok(Some(Command::Timeout(Some(secs))))
+        }
         "stats" => Ok(Some(Command::Stats)),
         "help" | "?" => Ok(Some(Command::Help)),
         "quit" | "exit" => Ok(Some(Command::Quit)),
@@ -166,6 +185,8 @@ commands:
   more [N]                   stream the next N communities of the ranking
   trees [N]                  show the top-N connected-tree answers instead
   dot <rank> [file]          export community #rank as GraphViz DOT
+  timeout <secs|off>         per-query deadline; Ctrl-C also cancels a
+                             running query without leaving the session
   stats                      dataset statistics
   help                       this text
   quit                       leave";
@@ -197,7 +218,9 @@ mod tests {
 
     #[test]
     fn parses_query_with_options() {
-        let cmd = parse("query Star DEATH rmax=10.5 k=7 cost=max").unwrap().unwrap();
+        let cmd = parse("query Star DEATH rmax=10.5 k=7 cost=max")
+            .unwrap()
+            .unwrap();
         assert_eq!(
             cmd,
             Command::Query {
@@ -223,11 +246,27 @@ mod tests {
         );
         assert_eq!(
             parse("dot 1").unwrap(),
-            Some(Command::Dot { rank: 1, path: None })
+            Some(Command::Dot {
+                rank: 1,
+                path: None
+            })
         );
         assert!(parse("dot").is_err());
         assert!(parse("dot zero").is_err());
         assert!(parse("dot 0").is_err());
+    }
+
+    #[test]
+    fn parses_timeout() {
+        assert_eq!(
+            parse("timeout 2.5").unwrap(),
+            Some(Command::Timeout(Some(2.5)))
+        );
+        assert_eq!(parse("timeout off").unwrap(), Some(Command::Timeout(None)));
+        assert!(parse("timeout").is_err());
+        assert!(parse("timeout 0").is_err());
+        assert!(parse("timeout -1").is_err());
+        assert!(parse("timeout soon").is_err());
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //! ```
 //!
 //! Commands can also be piped on stdin for scripted use.
+//!
+//! Ctrl-C during a query flips the session's cancel flag: the in-flight
+//! enumeration unwinds through its `RunGuard` and the REPL keeps going.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod commands;
@@ -20,8 +23,46 @@ use commands::{parse, Command, HELP};
 use session::Session;
 use std::io::{BufRead, Write};
 
+/// SIGINT handling without external crates: the handler only stores to a
+/// process-global `AtomicBool` shared with the session's `RunGuard`.
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        if let Some(flag) = FLAG.get() {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    const SIGINT: i32 = 2;
+
+    #[allow(unsafe_code)]
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Routes Ctrl-C into `flag`. Later calls are no-ops.
+    pub fn install(flag: Arc<AtomicBool>) {
+        if FLAG.set(flag).is_err() {
+            return;
+        }
+        // SAFETY: registers a handler that performs a single atomic store;
+        // `signal(2)` with glibc's BSD semantics restarts interrupted
+        // reads, so the REPL's `read_line` is unaffected.
+        #[allow(unsafe_code)]
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
+}
+
 fn main() {
     let mut session = Session::new();
+    sigint::install(session.cancel_flag());
     let stdin = std::io::stdin();
     let interactive = atty_stdin();
     if interactive {
@@ -34,8 +75,14 @@ fn main() {
             std::io::stdout().flush().ok();
         }
         line.clear();
-        let Ok(n) = stdin.lock().read_line(&mut line) else {
-            break;
+        let n = match stdin.lock().read_line(&mut line) {
+            Ok(n) => n,
+            // Ctrl-C at the prompt (EINTR without SA_RESTART): new prompt.
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                println!();
+                continue;
+            }
+            Err(_) => break,
         };
         if n == 0 {
             break; // EOF
@@ -62,7 +109,7 @@ enum Flow {
 
 fn run(session: &mut Session, cmd: Command) -> Flow {
     let result = match cmd {
-        Command::Load { dataset, scale } => Ok(session.load(&dataset, scale)),
+        Command::Load { dataset, scale } => session.load(&dataset, scale),
         Command::Query {
             keywords,
             rmax,
@@ -72,6 +119,7 @@ fn run(session: &mut Session, cmd: Command) -> Flow {
         Command::More(n) => session.more(n),
         Command::Trees(n) => session.trees(n),
         Command::Dot { rank, path } => session.dot(rank, path.as_deref()),
+        Command::Timeout(secs) => Ok(session.set_timeout(secs)),
         Command::Stats => session.stats(),
         Command::Help => Ok(HELP.to_owned()),
         Command::Quit => return Flow::Quit,

@@ -7,12 +7,15 @@
 //! prefix rather than holding a borrowing iterator across commands.
 
 use comm_core::trees::topk_trees;
-use comm_core::{CommK, CostFn, ProjectionIndex, QuerySpec};
+use comm_core::{CommK, CostFn, ProjectionIndex, QuerySpec, RunGuard};
 use comm_datasets::stats::dataset_stats;
 use comm_datasets::{generate_dblp, generate_imdb, DblpConfig, GeneratedDataset, ImdbConfig};
 use comm_graph::{NodeId, Weight};
 use comm_rdb::ColumnId;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// A loaded dataset plus the state of the current query.
 pub struct Session {
@@ -20,6 +23,11 @@ pub struct Session {
     default_rmax: f64,
     /// The current query's projected graph and spec (owned).
     current: Option<ActiveQuery>,
+    /// Per-query wall-clock deadline (the `timeout` command).
+    timeout: Option<Duration>,
+    /// Cancel flag shared with the Ctrl-C handler: aborts the query that
+    /// is currently running while keeping the session alive.
+    cancel: Arc<AtomicBool>,
 }
 
 struct ActiveQuery {
@@ -43,14 +51,23 @@ impl Session {
             dataset: None,
             default_rmax: 6.0,
             current: None,
+            timeout: None,
+            cancel: Arc::new(AtomicBool::new(false)),
         }
     }
 
-    /// Loads (generates) a dataset. Returns a status line.
-    pub fn load(&mut self, which: &str, scale: f64) -> String {
+    /// Loads (generates) a dataset. Returns a status line, or an error
+    /// naming the valid datasets — an unknown name must never silently
+    /// fall back to a default.
+    pub fn load(&mut self, which: &str, scale: f64) -> Result<String, String> {
         let (ds, rmax) = match which {
+            "dblp" => (generate_dblp(&DblpConfig::default().scaled(scale)), 6.0),
             "imdb" => (generate_imdb(&ImdbConfig::default().scaled(scale)), 11.0),
-            _ => (generate_dblp(&DblpConfig::default().scaled(scale)), 6.0),
+            other => {
+                return Err(format!(
+                    "unknown dataset {other:?} — valid datasets: dblp, imdb"
+                ))
+            }
         };
         let line = format!(
             "loaded {}: {} tuples, graph {} nodes / {} edges (default rmax {})",
@@ -63,7 +80,34 @@ impl Session {
         self.dataset = Some(ds);
         self.default_rmax = rmax;
         self.current = None;
-        line
+        Ok(line)
+    }
+
+    /// The cancel flag a Ctrl-C handler should flip to abort whatever
+    /// query is currently running (the session itself stays usable).
+    pub fn cancel_flag(&self) -> Arc<AtomicBool> {
+        self.cancel.clone()
+    }
+
+    /// Sets (or clears, with `None`) the per-query deadline.
+    pub fn set_timeout(&mut self, secs: Option<f64>) -> String {
+        self.timeout = secs.map(Duration::from_secs_f64);
+        match self.timeout {
+            Some(t) => format!("queries now time out after {}s", t.as_secs_f64()),
+            None => "query timeout disabled".to_owned(),
+        }
+    }
+
+    /// A fresh guard for one command: the shared Ctrl-C flag (cleared
+    /// first, so a cancel aimed at a *previous* query cannot abort this
+    /// one) plus the session deadline, if any.
+    fn guard(&self) -> RunGuard {
+        self.cancel.store(false, Ordering::SeqCst);
+        let mut g = RunGuard::new().with_cancel_flag(self.cancel.clone());
+        if let Some(t) = self.timeout {
+            g = g.with_deadline(t);
+        }
+        g
     }
 
     /// Runs a fresh query, printing the first `k` communities.
@@ -74,7 +118,10 @@ impl Session {
         k: usize,
         max_cost: bool,
     ) -> Result<String, String> {
-        let ds = self.dataset.as_ref().ok_or("no dataset — try 'load dblp'")?;
+        let ds = self
+            .dataset
+            .as_ref()
+            .ok_or("no dataset — try 'load dblp'")?;
         let rmax = rmax.unwrap_or(self.default_rmax);
         for kw in keywords {
             if ds.graph.keyword_nodes(kw).is_empty() {
@@ -83,16 +130,21 @@ impl Session {
                 ));
             }
         }
-        // Project the query subgraph (Sec. VI).
+        // Project the query subgraph (Sec. VI). One guard covers the whole
+        // query — index build, projection, and enumeration share the
+        // deadline and the Ctrl-C flag.
+        let guard = self.guard();
         let entries: Vec<(&str, &[NodeId])> = keywords
             .iter()
             .map(|kw| (kw.as_str(), ds.graph.keyword_nodes(kw)))
             .collect();
-        let index = ProjectionIndex::build(&ds.graph.graph, entries, Weight::new(rmax));
+        let index =
+            ProjectionIndex::build_guarded(&ds.graph.graph, entries, Weight::new(rmax), &guard)
+                .map_err(|r| format!("query interrupted while indexing ({r})"))?;
         let refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
         let pq = index
-            .project(&refs, Weight::new(rmax))
-            .ok_or("projection failed")?;
+            .try_project(&refs, Weight::new(rmax), &guard)
+            .map_err(|e| format!("projection failed: {e}"))?;
         let mut spec = QuerySpec::new(pq.spec.keyword_nodes.clone(), pq.spec.rmax);
         if max_cost {
             spec = spec.with_cost(CostFn::MaxDistance);
@@ -109,18 +161,23 @@ impl Session {
             pq.projected.graph.node_count(),
             100.0 * index.projection_ratio(&pq)
         );
-        out.push_str(&self.more(k)?);
+        out.push_str(&self.more_with(k, guard)?);
         Ok(out)
     }
 
     /// Streams `n` more communities of the active query.
     pub fn more(&mut self, n: usize) -> Result<String, String> {
+        let guard = self.guard();
+        self.more_with(n, guard)
+    }
+
+    fn more_with(&mut self, n: usize, guard: RunGuard) -> Result<String, String> {
         let ds = self.dataset.as_ref().ok_or("no dataset loaded")?;
         let q = self.current.as_mut().ok_or("no active query")?;
         // CommK is resumable but borrows the graph; to keep the session
         // simple we re-enumerate up to the high-water mark (communities are
         // deterministic), which is still fast on projected graphs.
-        let mut it = CommK::new(&q.graph, &q.spec);
+        let mut it = CommK::new(&q.graph, &q.spec).with_guard(guard);
         let mut skipped = 0;
         while skipped < q.emitted && it.next().is_some() {
             skipped += 1;
@@ -143,7 +200,12 @@ impl Session {
                 let _ = writeln!(out, "    {kw}: {}", describe_static(ds, orig));
             }
         }
-        if got == 0 {
+        if let Some(reason) = it.interrupted() {
+            let _ = writeln!(
+                out,
+                "(interrupted: {reason} — results so far shown; 'more' retries under a fresh deadline)"
+            );
+        } else if got == 0 {
             out.push_str("(enumeration exhausted — no more communities)\n");
         }
         Ok(out)
@@ -154,7 +216,10 @@ impl Session {
         let ds = self.dataset.as_ref().ok_or("no dataset loaded")?;
         let q = self.current.as_ref().ok_or("no active query")?;
         let trees = topk_trees(&q.graph, &q.spec, n);
-        let mut out = format!("top-{} connected trees (prior-art result shape):\n", trees.len());
+        let mut out = format!(
+            "top-{} connected trees (prior-art result shape):\n",
+            trees.len()
+        );
         for (i, t) in trees.iter().enumerate() {
             let root = q.original_ids[t.root.index()];
             let _ = writeln!(
@@ -174,16 +239,21 @@ impl Session {
     pub fn dot(&self, rank: usize, path: Option<&str>) -> Result<String, String> {
         let ds = self.dataset.as_ref().ok_or("no dataset loaded")?;
         let q = self.current.as_ref().ok_or("no active query")?;
-        let community = CommK::new(&q.graph, &q.spec)
-            .nth(rank - 1)
-            .ok_or_else(|| format!("the query has fewer than {rank} communities"))?;
+        let mut it = CommK::new(&q.graph, &q.spec).with_guard(self.guard());
+        let community = it.nth(rank - 1).ok_or_else(|| match it.interrupted() {
+            Some(reason) => format!("interrupted: {reason}"),
+            None => format!("the query has fewer than {rank} communities"),
+        })?;
         let dot = comm_core::dot::community_to_dot(&community, |local| {
             describe_static(ds, q.original_ids[local.index()])
         });
         match path {
             Some(p) => {
                 std::fs::write(p, &dot).map_err(|e| format!("cannot write {p}: {e}"))?;
-                Ok(format!("wrote community #{rank} to {p} ({} bytes)", dot.len()))
+                Ok(format!(
+                    "wrote community #{rank} to {p} ({} bytes)",
+                    dot.len()
+                ))
             }
             None => Ok(dot),
         }
@@ -228,7 +298,7 @@ mod tests {
 
     fn loaded() -> Session {
         let mut s = Session::new();
-        s.load("dblp", 0.3);
+        s.load("dblp", 0.3).unwrap();
         s
     }
 
@@ -237,9 +307,38 @@ mod tests {
         let mut s = Session::new();
         assert!(!s.has_dataset());
         assert!(s.stats().is_err());
-        let line = s.load("imdb", 0.3);
+        let line = s.load("imdb", 0.3).unwrap();
         assert!(line.contains("imdb"));
         assert!(s.stats().unwrap().contains("density"));
+    }
+
+    #[test]
+    fn load_rejects_unknown_dataset() {
+        let mut s = Session::new();
+        let err = s.load("netflix", 1.0).unwrap_err();
+        assert!(err.contains("valid datasets: dblp, imdb"), "{err}");
+        assert!(!s.has_dataset(), "a failed load must not install a dataset");
+    }
+
+    #[test]
+    fn zero_timeout_interrupts_query_but_session_survives() {
+        let mut s = loaded();
+        assert!(s.set_timeout(Some(0.0)).contains("time out"));
+        let err = s.query(&["database".into()], None, 1, false).unwrap_err();
+        assert!(err.contains("interrupted"), "{err}");
+        assert!(s.set_timeout(None).contains("disabled"));
+        assert!(s.query(&["database".into()], None, 1, false).is_ok());
+    }
+
+    #[test]
+    fn stale_ctrl_c_does_not_cancel_next_query() {
+        let mut s = loaded();
+        // A Ctrl-C that arrives between commands must not poison the next
+        // query: each guard clears the shared flag before running.
+        s.cancel_flag().store(true, Ordering::SeqCst);
+        let out = s.query(&["database".into()], None, 1, false).unwrap();
+        assert!(out.contains("#1 cost"), "{out}");
+        assert!(!s.cancel_flag().load(Ordering::SeqCst));
     }
 
     #[test]
@@ -258,9 +357,7 @@ mod tests {
     #[test]
     fn unknown_keyword_reported() {
         let mut s = loaded();
-        let err = s
-            .query(&["zzzznope".into()], None, 3, false)
-            .unwrap_err();
+        let err = s.query(&["zzzznope".into()], None, 3, false).unwrap_err();
         assert!(err.contains("matches nothing"));
     }
 

@@ -18,9 +18,12 @@
 //!   is transient (freed after `u` is processed), so it uses less memory
 //!   than bottom-up, at the same asymptotic time.
 
-use crate::get_community::get_community_with;
+use crate::error::QueryError;
+use crate::get_community::get_community_guarded;
 use crate::types::{Community, Core, CostFn, QuerySpec};
-use comm_graph::{DijkstraEngine, Direction, Graph, NodeId, Weight};
+use comm_graph::{
+    DijkstraEngine, Direction, Graph, InterruptReason, NodeId, Outcome, RunGuard, Weight,
+};
 use std::collections::{HashMap, HashSet};
 
 /// Per-center reach lists: `sets[i]` holds the `(keyword_node, dist)`
@@ -38,9 +41,11 @@ pub struct BaselineStats {
     pub duplicates: usize,
     /// Peak logical bytes of expansion state + pools + result buffers.
     pub peak_bytes: usize,
-    /// Whether the run finished (false: hit its community limit or its
-    /// candidate budget).
+    /// Whether the run finished (false: hit its community limit, its
+    /// candidate budget, or a guard trip).
     pub completed: bool,
+    /// Why the guard cut the run short, if it did.
+    pub interrupted: Option<InterruptReason>,
 }
 
 /// The result of a baseline run.
@@ -96,20 +101,33 @@ fn bottom_up_expand(
     graph: &Graph,
     spec: &QuerySpec,
     engine: &mut DijkstraEngine,
-) -> (Vec<ReachSets>, usize) {
+    guard: &RunGuard,
+) -> Result<(Vec<ReachSets>, usize), InterruptReason> {
     let n = graph.node_count();
     let l = spec.l();
     let mut sets: Vec<ReachSets> = vec![vec![Vec::new(); l]; n];
     let mut entries = 0usize;
     for (i, v_i) in spec.keyword_nodes.iter().enumerate() {
         for &v in v_i {
-            engine.run(graph, Direction::Reverse, [v], spec.rmax, |s| {
+            engine.run_guarded(graph, Direction::Reverse, [v], spec.rmax, guard, |s| {
                 sets[s.node.index()][i].push((v, s.dist));
                 entries += 1;
-            });
+            })?;
+            guard.check_bytes(entries * PAIR_BYTES)?;
         }
     }
-    (sets, entries * PAIR_BYTES)
+    Ok((sets, entries * PAIR_BYTES))
+}
+
+/// Wraps a finished run in the `Outcome` the guarded entry points return.
+fn wrap_run(run: BaselineRun) -> Outcome<BaselineRun> {
+    match run.stats.interrupted {
+        None => Outcome::Complete(run),
+        Some(reason) => Outcome::Interrupted {
+            reason,
+            partial: run,
+        },
+    }
 }
 
 /// `BUall`: bottom-up enumeration of all communities.
@@ -117,6 +135,27 @@ fn bottom_up_expand(
 /// `limit` optionally caps the number of communities materialized (the
 /// expansion and candidate generation still run in full).
 pub fn bu_all(graph: &Graph, spec: &QuerySpec, limit: Option<usize>) -> BaselineRun {
+    bu_all_impl(graph, spec, limit, &RunGuard::unlimited())
+}
+
+/// [`bu_all`] validating the spec and running under `guard`. An
+/// interrupted run carries the communities materialized before the trip.
+pub fn bu_all_guarded(
+    graph: &Graph,
+    spec: &QuerySpec,
+    limit: Option<usize>,
+    guard: RunGuard,
+) -> Result<Outcome<BaselineRun>, QueryError> {
+    spec.validate_for(graph)?;
+    Ok(wrap_run(bu_all_impl(graph, spec, limit, &guard)))
+}
+
+fn bu_all_impl(
+    graph: &Graph,
+    spec: &QuerySpec,
+    limit: Option<usize>,
+    guard: &RunGuard,
+) -> BaselineRun {
     let mut engine = DijkstraEngine::new(graph.node_count());
     let mut stats = BaselineStats {
         completed: true,
@@ -128,10 +167,21 @@ pub fn bu_all(graph: &Graph, spec: &QuerySpec, limit: Option<usize>) -> Baseline
             stats,
         };
     }
-    let (sets, expansion_bytes) = bottom_up_expand(graph, spec, &mut engine);
+    let (sets, expansion_bytes) = match bottom_up_expand(graph, spec, &mut engine, guard) {
+        Ok(x) => x,
+        Err(reason) => {
+            stats.completed = false;
+            stats.interrupted = Some(reason);
+            return BaselineRun {
+                communities: Vec::new(),
+                stats,
+            };
+        }
+    };
 
     let mut pool: HashSet<Core> = HashSet::new();
     let mut communities = Vec::new();
+    let mut trip: Option<InterruptReason> = None;
     let l = spec.l();
     'centers: for per_center in &sets {
         if (0..l).any(|i| per_center[i].is_empty()) {
@@ -139,10 +189,19 @@ pub fn bu_all(graph: &Graph, spec: &QuerySpec, limit: Option<usize>) -> Baseline
         }
         let done = cross_product(per_center, spec.cost, |core, _| {
             stats.candidates += 1;
+            if let Err(reason) = guard.note_candidate() {
+                trip = Some(reason);
+                return false;
+            }
             if pool.insert(core.clone()) {
-                let c = get_community_with(graph, &mut engine, &core, spec.rmax, spec.cost)
-                    .expect("center u certifies the core");
-                communities.push(c);
+                match get_community_guarded(graph, &mut engine, &core, spec.rmax, spec.cost, guard)
+                {
+                    Ok(c) => communities.push(c.expect("center u certifies the core")),
+                    Err(reason) => {
+                        trip = Some(reason);
+                        return false;
+                    }
+                }
             } else {
                 stats.duplicates += 1;
             }
@@ -153,6 +212,7 @@ pub fn bu_all(graph: &Graph, spec: &QuerySpec, limit: Option<usize>) -> Baseline
             break 'centers;
         }
     }
+    stats.interrupted = trip;
     stats.communities = communities.len();
     stats.peak_bytes = expansion_bytes + pool.len() * (l * 4 + 32);
     BaselineRun { communities, stats }
@@ -172,6 +232,36 @@ pub fn bu_topk(
     k: usize,
     candidate_budget: Option<usize>,
 ) -> BaselineRun {
+    bu_topk_impl(graph, spec, k, candidate_budget, &RunGuard::unlimited())
+}
+
+/// [`bu_topk`] validating the spec and running under `guard`. An aborted
+/// ranking would be wrong, so an interrupted run carries no communities —
+/// only the stats accumulated up to the trip.
+pub fn bu_topk_guarded(
+    graph: &Graph,
+    spec: &QuerySpec,
+    k: usize,
+    candidate_budget: Option<usize>,
+    guard: RunGuard,
+) -> Result<Outcome<BaselineRun>, QueryError> {
+    spec.validate_for(graph)?;
+    Ok(wrap_run(bu_topk_impl(
+        graph,
+        spec,
+        k,
+        candidate_budget,
+        &guard,
+    )))
+}
+
+fn bu_topk_impl(
+    graph: &Graph,
+    spec: &QuerySpec,
+    k: usize,
+    candidate_budget: Option<usize>,
+    guard: &RunGuard,
+) -> BaselineRun {
     let mut engine = DijkstraEngine::new(graph.node_count());
     let mut stats = BaselineStats {
         completed: true,
@@ -183,16 +273,31 @@ pub fn bu_topk(
             stats,
         };
     }
-    let (sets, expansion_bytes) = bottom_up_expand(graph, spec, &mut engine);
+    let (sets, expansion_bytes) = match bottom_up_expand(graph, spec, &mut engine, guard) {
+        Ok(x) => x,
+        Err(reason) => {
+            stats.completed = false;
+            stats.interrupted = Some(reason);
+            return BaselineRun {
+                communities: Vec::new(),
+                stats,
+            };
+        }
+    };
 
     let l = spec.l();
     let mut best_cost: HashMap<Core, Weight> = HashMap::new();
+    let mut trip: Option<InterruptReason> = None;
     'centers: for per_center in &sets {
         if (0..l).any(|i| per_center[i].is_empty()) {
             continue;
         }
         let done = cross_product(per_center, spec.cost, |core, cost| {
             stats.candidates += 1;
+            if let Err(reason) = guard.note_candidate() {
+                trip = Some(reason);
+                return false;
+            }
             best_cost
                 .entry(core)
                 .and_modify(|c| {
@@ -209,6 +314,7 @@ pub fn bu_topk(
             break 'centers;
         }
     }
+    stats.interrupted = trip;
     stats.peak_bytes = expansion_bytes + best_cost.len() * (l * 4 + 8 + 32);
     if !stats.completed {
         // An aborted ranking would be wrong; report the abort instead.
@@ -221,13 +327,17 @@ pub fn bu_topk(
     let mut ranked: Vec<(Core, Weight)> = best_cost.into_iter().collect();
     ranked.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
     ranked.truncate(k);
-    let communities: Vec<Community> = ranked
-        .into_iter()
-        .map(|(core, _)| {
-            get_community_with(graph, &mut engine, &core, spec.rmax, spec.cost)
-                .expect("core has a center")
-        })
-        .collect();
+    let mut communities: Vec<Community> = Vec::with_capacity(ranked.len());
+    for (core, _) in ranked {
+        match get_community_guarded(graph, &mut engine, &core, spec.rmax, spec.cost, guard) {
+            Ok(c) => communities.push(c.expect("core has a center")),
+            Err(reason) => {
+                stats.completed = false;
+                stats.interrupted = Some(reason);
+                break;
+            }
+        }
+    }
     stats.communities = communities.len();
     BaselineRun { communities, stats }
 }
@@ -241,17 +351,18 @@ fn top_down_reach(
     engine: &mut DijkstraEngine,
     membership: &HashMap<NodeId, Vec<u8>>,
     u: NodeId,
-) -> Option<ReachSets> {
+    guard: &RunGuard,
+) -> Result<Option<ReachSets>, InterruptReason> {
     let l = spec.l();
     let mut sets: ReachSets = vec![Vec::new(); l];
-    engine.run(graph, Direction::Forward, [u], spec.rmax, |s| {
+    engine.run_guarded(graph, Direction::Forward, [u], spec.rmax, guard, |s| {
         if let Some(dims) = membership.get(&s.node) {
             for &i in dims {
                 sets[i as usize].push((s.node, s.dist));
             }
         }
-    });
-    sets.iter().all(|s| !s.is_empty()).then_some(sets)
+    })?;
+    Ok(sets.iter().all(|s| !s.is_empty()).then_some(sets))
 }
 
 fn keyword_membership(spec: &QuerySpec) -> HashMap<NodeId, Vec<u8>> {
@@ -266,6 +377,27 @@ fn keyword_membership(spec: &QuerySpec) -> HashMap<NodeId, Vec<u8>> {
 
 /// `TDall`: top-down enumeration of all communities.
 pub fn td_all(graph: &Graph, spec: &QuerySpec, limit: Option<usize>) -> BaselineRun {
+    td_all_impl(graph, spec, limit, &RunGuard::unlimited())
+}
+
+/// [`td_all`] validating the spec and running under `guard`. An
+/// interrupted run carries the communities materialized before the trip.
+pub fn td_all_guarded(
+    graph: &Graph,
+    spec: &QuerySpec,
+    limit: Option<usize>,
+    guard: RunGuard,
+) -> Result<Outcome<BaselineRun>, QueryError> {
+    spec.validate_for(graph)?;
+    Ok(wrap_run(td_all_impl(graph, spec, limit, &guard)))
+}
+
+fn td_all_impl(
+    graph: &Graph,
+    spec: &QuerySpec,
+    limit: Option<usize>,
+    guard: &RunGuard,
+) -> BaselineRun {
     let mut engine = DijkstraEngine::new(graph.node_count());
     let mut stats = BaselineStats {
         completed: true,
@@ -281,19 +413,35 @@ pub fn td_all(graph: &Graph, spec: &QuerySpec, limit: Option<usize>) -> Baseline
     let mut pool: HashSet<Core> = HashSet::new();
     let mut communities = Vec::new();
     let mut max_transient = 0usize;
+    let mut trip: Option<InterruptReason> = None;
     let l = spec.l();
     'centers: for u in graph.nodes() {
-        let Some(sets) = top_down_reach(graph, spec, &mut engine, &membership, u) else {
-            continue;
+        let sets = match top_down_reach(graph, spec, &mut engine, &membership, u, guard) {
+            Ok(Some(sets)) => sets,
+            Ok(None) => continue,
+            Err(reason) => {
+                trip = Some(reason);
+                stats.completed = false;
+                break 'centers;
+            }
         };
         let transient: usize = sets.iter().map(|s| s.len() * PAIR_BYTES).sum();
         max_transient = max_transient.max(transient);
         let done = cross_product(&sets, spec.cost, |core, _| {
             stats.candidates += 1;
+            if let Err(reason) = guard.note_candidate() {
+                trip = Some(reason);
+                return false;
+            }
             if pool.insert(core.clone()) {
-                let c = get_community_with(graph, &mut engine, &core, spec.rmax, spec.cost)
-                    .expect("center u certifies the core");
-                communities.push(c);
+                match get_community_guarded(graph, &mut engine, &core, spec.rmax, spec.cost, guard)
+                {
+                    Ok(c) => communities.push(c.expect("center u certifies the core")),
+                    Err(reason) => {
+                        trip = Some(reason);
+                        return false;
+                    }
+                }
             } else {
                 stats.duplicates += 1;
             }
@@ -306,6 +454,7 @@ pub fn td_all(graph: &Graph, spec: &QuerySpec, limit: Option<usize>) -> Baseline
         // The per-center sets are dropped here — the memory advantage of
         // top-down over bottom-up the paper points out for Fig. 9(b).
     }
+    stats.interrupted = trip;
     stats.communities = communities.len();
     stats.peak_bytes = max_transient + pool.len() * (l * 4 + 32);
     BaselineRun { communities, stats }
@@ -318,6 +467,35 @@ pub fn td_topk(
     spec: &QuerySpec,
     k: usize,
     candidate_budget: Option<usize>,
+) -> BaselineRun {
+    td_topk_impl(graph, spec, k, candidate_budget, &RunGuard::unlimited())
+}
+
+/// [`td_topk`] validating the spec and running under `guard`; see
+/// [`bu_topk_guarded`] for the interrupted-run contract.
+pub fn td_topk_guarded(
+    graph: &Graph,
+    spec: &QuerySpec,
+    k: usize,
+    candidate_budget: Option<usize>,
+    guard: RunGuard,
+) -> Result<Outcome<BaselineRun>, QueryError> {
+    spec.validate_for(graph)?;
+    Ok(wrap_run(td_topk_impl(
+        graph,
+        spec,
+        k,
+        candidate_budget,
+        &guard,
+    )))
+}
+
+fn td_topk_impl(
+    graph: &Graph,
+    spec: &QuerySpec,
+    k: usize,
+    candidate_budget: Option<usize>,
+    guard: &RunGuard,
 ) -> BaselineRun {
     let mut engine = DijkstraEngine::new(graph.node_count());
     let mut stats = BaselineStats {
@@ -333,15 +511,26 @@ pub fn td_topk(
     let membership = keyword_membership(spec);
     let mut best_cost: HashMap<Core, Weight> = HashMap::new();
     let mut max_transient = 0usize;
+    let mut trip: Option<InterruptReason> = None;
     let l = spec.l();
     'centers: for u in graph.nodes() {
-        let Some(sets) = top_down_reach(graph, spec, &mut engine, &membership, u) else {
-            continue;
+        let sets = match top_down_reach(graph, spec, &mut engine, &membership, u, guard) {
+            Ok(Some(sets)) => sets,
+            Ok(None) => continue,
+            Err(reason) => {
+                trip = Some(reason);
+                stats.completed = false;
+                break 'centers;
+            }
         };
         let transient: usize = sets.iter().map(|s| s.len() * PAIR_BYTES).sum();
         max_transient = max_transient.max(transient);
         let done = cross_product(&sets, spec.cost, |core, cost| {
             stats.candidates += 1;
+            if let Err(reason) = guard.note_candidate() {
+                trip = Some(reason);
+                return false;
+            }
             best_cost
                 .entry(core)
                 .and_modify(|c| {
@@ -358,6 +547,7 @@ pub fn td_topk(
             break 'centers;
         }
     }
+    stats.interrupted = trip;
     stats.peak_bytes = max_transient + best_cost.len() * (l * 4 + 8 + 32);
     if !stats.completed {
         return BaselineRun {
@@ -369,13 +559,17 @@ pub fn td_topk(
     let mut ranked: Vec<(Core, Weight)> = best_cost.into_iter().collect();
     ranked.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
     ranked.truncate(k);
-    let communities: Vec<Community> = ranked
-        .into_iter()
-        .map(|(core, _)| {
-            get_community_with(graph, &mut engine, &core, spec.rmax, spec.cost)
-                .expect("core has a center")
-        })
-        .collect();
+    let mut communities: Vec<Community> = Vec::with_capacity(ranked.len());
+    for (core, _) in ranked {
+        match get_community_guarded(graph, &mut engine, &core, spec.rmax, spec.cost, guard) {
+            Ok(c) => communities.push(c.expect("core has a center")),
+            Err(reason) => {
+                stats.completed = false;
+                stats.interrupted = Some(reason);
+                break;
+            }
+        }
+    }
     stats.communities = communities.len();
     BaselineRun { communities, stats }
 }
@@ -494,6 +688,46 @@ mod tests {
         let ok = bu_topk(&g, &fig4_spec(), 5, Some(1_000_000));
         assert!(ok.stats.completed);
         assert_eq!(ok.communities.len(), 5);
+    }
+
+    #[test]
+    fn guarded_baselines_interrupt_cleanly() {
+        let g = fig4_graph();
+        let spec = fig4_spec();
+        // A zero settled budget trips inside the very first expansion.
+        for out in [
+            bu_all_guarded(&g, &spec, None, RunGuard::new().with_settled_budget(0)).unwrap(),
+            td_all_guarded(&g, &spec, None, RunGuard::new().with_settled_budget(0)).unwrap(),
+            bu_topk_guarded(&g, &spec, 3, None, RunGuard::new().with_settled_budget(0)).unwrap(),
+            td_topk_guarded(&g, &spec, 3, None, RunGuard::new().with_settled_budget(0)).unwrap(),
+        ] {
+            assert_eq!(out.reason(), Some(InterruptReason::SettledBudgetExhausted));
+            let run = out.into_value();
+            assert!(run.communities.is_empty());
+            assert!(!run.stats.completed);
+        }
+        // Unlimited guards leave the results untouched.
+        let full = bu_all(&g, &spec, None);
+        let guarded = bu_all_guarded(&g, &spec, None, RunGuard::new()).unwrap();
+        assert!(guarded.is_complete());
+        assert_eq!(
+            core_set(&full.communities),
+            core_set(&guarded.into_value().communities)
+        );
+    }
+
+    #[test]
+    fn guarded_baselines_reject_bad_specs() {
+        let g = fig4_graph();
+        let bad = QuerySpec::new(vec![vec![NodeId(9999)]], Weight::new(8.0));
+        assert!(matches!(
+            bu_all_guarded(&g, &bad, None, RunGuard::new()),
+            Err(QueryError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            td_topk_guarded(&g, &bad, 3, None, RunGuard::new()),
+            Err(QueryError::NodeOutOfRange { .. })
+        ));
     }
 
     #[test]

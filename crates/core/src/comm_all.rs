@@ -13,10 +13,11 @@
 //! `GetCommunity()` — `O(l · (n log n + m))`, the paper's Theorem IV.1 —
 //! using `O(l·n + m)` space.
 
-use crate::get_community::get_community_with;
+use crate::error::QueryError;
+use crate::get_community::get_community_guarded;
 use crate::neighbor::NeighborSets;
 use crate::types::{Community, Core, CostFn, QuerySpec};
-use comm_graph::{DijkstraEngine, Graph, NodeId, Weight};
+use comm_graph::{DijkstraEngine, Graph, InterruptReason, NodeId, Outcome, RunGuard, Weight};
 use std::collections::BTreeSet;
 
 /// Polynomial-delay iterator over all communities of an l-keyword query.
@@ -47,6 +48,9 @@ pub struct CommAll<'g> {
     emitted: usize,
     peak_bytes: usize,
     started: bool,
+    guard: RunGuard,
+    /// Set once the guard trips; the iterator then yields `None` forever.
+    interrupted: Option<InterruptReason>,
 }
 
 impl<'g> CommAll<'g> {
@@ -72,7 +76,31 @@ impl<'g> CommAll<'g> {
             emitted: 0,
             peak_bytes: 0,
             started: false,
+            guard: RunGuard::unlimited(),
+            interrupted: None,
         }
+    }
+
+    /// Like [`new`](Self::new), but validates the spec against the graph
+    /// instead of panicking on malformed input.
+    pub fn try_new(graph: &'g Graph, spec: &QuerySpec) -> Result<CommAll<'g>, QueryError> {
+        spec.validate_for(graph)?;
+        Ok(CommAll::new(graph, spec))
+    }
+
+    /// Attaches an execution governor. The guard is consulted per settled
+    /// Dijkstra node, per emitted community, and on memory high-water
+    /// marks; when it trips the iterator stops (yielding a prefix of the
+    /// unguarded enumeration) and [`interrupted`](Self::interrupted)
+    /// reports why.
+    pub fn with_guard(mut self, guard: RunGuard) -> CommAll<'g> {
+        self.guard = guard;
+        self
+    }
+
+    /// Why enumeration stopped early, if the guard tripped.
+    pub fn interrupted(&self) -> Option<InterruptReason> {
+        self.interrupted
     }
 
     /// Number of communities emitted so far.
@@ -92,7 +120,7 @@ impl<'g> CommAll<'g> {
         self.ns.sweeps()
     }
 
-    fn track_memory(&mut self) {
+    fn track_memory(&mut self) -> Result<(), InterruptReason> {
         let s_bytes: usize = self
             .s_sets
             .iter()
@@ -102,51 +130,65 @@ impl<'g> CommAll<'g> {
         if bytes > self.peak_bytes {
             self.peak_bytes = bytes;
         }
+        self.guard.check_bytes(bytes)
     }
 
-    fn recompute_from_s(&mut self, i: usize) {
+    fn recompute_from_s(&mut self, i: usize) -> Result<(), InterruptReason> {
         let seeds: Vec<NodeId> = self.s_sets[i].iter().copied().collect();
-        self.ns
-            .recompute_dim(self.graph, &mut self.engine, i, seeds, self.rmax);
+        self.ns.recompute_dim_guarded(
+            self.graph,
+            &mut self.engine,
+            i,
+            seeds,
+            self.rmax,
+            &self.guard,
+        )
     }
 
     /// Lines 1–5 of Algorithm 1: initialize `S_i = V_i`, compute all
     /// neighbor sets, and find the first best core.
-    fn start(&mut self) {
+    fn start(&mut self) -> Result<(), InterruptReason> {
         self.started = true;
         for i in 0..self.l {
-            self.recompute_from_s(i);
+            self.recompute_from_s(i)?;
         }
         self.pending = self.ns.best_core_with(self.cost_fn).map(|b| b.core);
-        self.track_memory();
+        self.track_memory()
     }
 
     /// The `Next()` procedure (lines 10–21).
-    fn next_core(&mut self, current: &Core) -> Option<Core> {
+    fn next_core(&mut self, current: &Core) -> Result<Option<Core>, InterruptReason> {
         // Preparation: pin every dimension's neighbor set to the current
         // core node (lines 11–12).
         for i in 0..self.l {
-            self.ns.recompute_dim(
+            self.ns.recompute_dim_guarded(
                 self.graph,
                 &mut self.engine,
                 i,
                 [current.get(i)],
                 self.rmax,
-            );
+                &self.guard,
+            )?;
         }
         // Search: subdivide from the last dimension down (lines 13–20).
         for i in (0..self.l).rev() {
             self.s_sets[i].remove(&current.get(i));
-            self.recompute_from_s(i);
+            self.recompute_from_s(i)?;
             if let Some(best) = self.ns.best_core_with(self.cost_fn) {
-                self.track_memory();
-                return Some(best.core);
+                self.track_memory()?;
+                return Ok(Some(best.core));
             }
             self.s_sets[i] = self.v_sets[i].iter().copied().collect();
-            self.recompute_from_s(i);
+            self.recompute_from_s(i)?;
         }
-        self.track_memory();
-        None
+        self.track_memory()?;
+        Ok(None)
+    }
+
+    /// Records a guard trip; subsequent `next()` calls yield `None`.
+    fn trip(&mut self, reason: InterruptReason) {
+        self.interrupted = Some(reason);
+        self.pending = None;
     }
 }
 
@@ -154,14 +196,41 @@ impl<'g> Iterator for CommAll<'g> {
     type Item = Community;
 
     fn next(&mut self) -> Option<Community> {
+        if self.interrupted.is_some() {
+            return None;
+        }
         if !self.started {
-            self.start();
+            if let Err(reason) = self.start() {
+                self.trip(reason);
+                return None;
+            }
         }
         let core = self.pending.take()?;
-        let community =
-            get_community_with(self.graph, &mut self.engine, &core, self.rmax, self.cost_fn)
-                .expect("a core returned by BestCore always has a center");
-        self.pending = self.next_core(&core);
+        // Candidate budget k ⇒ exactly k communities emitted.
+        if let Err(reason) = self.guard.note_candidate() {
+            self.trip(reason);
+            return None;
+        }
+        let community = match get_community_guarded(
+            self.graph,
+            &mut self.engine,
+            &core,
+            self.rmax,
+            self.cost_fn,
+            &self.guard,
+        ) {
+            Ok(c) => c.expect("a core returned by BestCore always has a center"),
+            Err(reason) => {
+                self.trip(reason);
+                return None;
+            }
+        };
+        // If the guard trips while advancing the DFS, the community already
+        // materialized is still emitted: output stays an exact prefix.
+        match self.next_core(&core) {
+            Ok(next) => self.pending = next,
+            Err(reason) => self.trip(reason),
+        }
         self.emitted += 1;
         Some(community)
     }
@@ -170,6 +239,35 @@ impl<'g> Iterator for CommAll<'g> {
 /// Convenience: all communities as a vector.
 pub fn comm_all(graph: &Graph, spec: &QuerySpec) -> Vec<Community> {
     CommAll::new(graph, spec).collect()
+}
+
+/// [`comm_all`] validating the spec and running under `guard`.
+///
+/// An interrupted run returns `Outcome::Interrupted` carrying the
+/// communities emitted before the trip — always an exact prefix of the
+/// unguarded enumeration order.
+pub fn comm_all_guarded(
+    graph: &Graph,
+    spec: &QuerySpec,
+    guard: RunGuard,
+) -> Result<Outcome<Vec<Community>>, QueryError> {
+    let mut it = CommAll::try_new(graph, spec)?.with_guard(guard);
+    let mut out = Vec::new();
+    for c in &mut it {
+        out.push(c);
+    }
+    Ok(match it.interrupted() {
+        None => Outcome::Complete(out),
+        Some(reason) => Outcome::Interrupted {
+            reason,
+            partial: out,
+        },
+    })
+}
+
+/// [`comm_all`] with up-front validation and no execution limits.
+pub fn try_comm_all(graph: &Graph, spec: &QuerySpec) -> Result<Vec<Community>, QueryError> {
+    Ok(comm_all_guarded(graph, spec, RunGuard::unlimited())?.into_value())
 }
 
 #[cfg(test)]
@@ -205,10 +303,7 @@ mod tests {
         // Algorithm 1 finds the *best* core first (line 5), then walks DFS.
         let g = fig4_graph();
         let first = CommAll::new(&g, &fig4_spec(FIG4_RMAX)).next().unwrap();
-        assert_eq!(
-            first.core,
-            Core(vec![NodeId(4), NodeId(8), NodeId(6)])
-        );
+        assert_eq!(first.core, Core(vec![NodeId(4), NodeId(8), NodeId(6)]));
         assert_eq!(first.cost, Weight::new(7.0));
     }
 
@@ -254,10 +349,7 @@ mod tests {
     #[test]
     fn empty_keyword_set_yields_nothing() {
         let g = fig4_graph();
-        let spec = QuerySpec::new(
-            vec![vec![NodeId(4)], vec![]],
-            Weight::new(8.0),
-        );
+        let spec = QuerySpec::new(vec![vec![NodeId(4)], vec![]], Weight::new(8.0));
         assert_eq!(comm_all(&g, &spec).len(), 0);
     }
 
@@ -299,6 +391,42 @@ mod tests {
         while it.next().is_some() {}
         assert_eq!(it.emitted(), 5);
         assert!(it.peak_memory_bytes() > 0);
+    }
+
+    #[test]
+    fn candidate_budget_emits_exact_prefix() {
+        let g = fig4_graph();
+        let spec = fig4_spec(FIG4_RMAX);
+        let full = comm_all(&g, &spec);
+        for k in 0..=full.len() {
+            let guard = RunGuard::new().with_candidate_budget(k as u64);
+            let out = comm_all_guarded(&g, &spec, guard).unwrap();
+            if k < full.len() {
+                assert_eq!(
+                    out.reason(),
+                    Some(InterruptReason::CandidateBudgetExhausted)
+                );
+            } else {
+                assert!(out.is_complete());
+            }
+            let got = out.into_value();
+            assert_eq!(got.len(), k.min(full.len()));
+            for (a, b) in got.iter().zip(&full) {
+                assert_eq!(a.core, b.core, "prefix order diverged at budget {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn try_comm_all_rejects_bad_specs() {
+        let g = fig4_graph();
+        let bad = QuerySpec::new(vec![vec![NodeId(999)]], Weight::new(8.0));
+        assert!(matches!(
+            try_comm_all(&g, &bad),
+            Err(QueryError::NodeOutOfRange { dim: 0, .. })
+        ));
+        let ok = try_comm_all(&g, &fig4_spec(FIG4_RMAX)).unwrap();
+        assert_eq!(ok.len(), 5);
     }
 
     #[test]

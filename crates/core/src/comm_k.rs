@@ -21,11 +21,12 @@
 //! Lawler reconstruction — and the duplication-freeness property tests
 //! cross-check the result against the naive enumerator.
 
-use crate::get_community::get_community_with;
+use crate::error::QueryError;
+use crate::get_community::get_community_guarded;
 use crate::neighbor::NeighborSets;
 use crate::types::{Community, Core, CostFn, QuerySpec};
 use comm_fibheap::FibHeap;
-use comm_graph::{DijkstraEngine, Graph, NodeId, Weight};
+use comm_graph::{DijkstraEngine, Graph, InterruptReason, NodeId, Outcome, RunGuard, Weight};
 use std::collections::BTreeSet;
 
 /// One entry of the can-list: the paper's can-tuple `(C, cost, pos, prev)`.
@@ -74,6 +75,9 @@ pub struct CommK<'g> {
     emitted: usize,
     peak_bytes: usize,
     started: bool,
+    guard: RunGuard,
+    /// Set once the guard trips; the iterator then yields `None` forever.
+    interrupted: Option<InterruptReason>,
 }
 
 impl<'g> CommK<'g> {
@@ -95,7 +99,30 @@ impl<'g> CommK<'g> {
             emitted: 0,
             peak_bytes: 0,
             started: false,
+            guard: RunGuard::unlimited(),
+            interrupted: None,
         }
+    }
+
+    /// Like [`new`](Self::new), but validates the spec against the graph
+    /// instead of panicking on malformed input.
+    pub fn try_new(graph: &'g Graph, spec: &QuerySpec) -> Result<CommK<'g>, QueryError> {
+        spec.validate_for(graph)?;
+        Ok(CommK::new(graph, spec))
+    }
+
+    /// Attaches an execution governor; see [`CommAll::with_guard`] for the
+    /// contract (guarded output is always a prefix of the unguarded order).
+    ///
+    /// [`CommAll::with_guard`]: crate::CommAll::with_guard
+    pub fn with_guard(mut self, guard: RunGuard) -> CommK<'g> {
+        self.guard = guard;
+        self
+    }
+
+    /// Why enumeration stopped early, if the guard tripped.
+    pub fn interrupted(&self) -> Option<InterruptReason> {
+        self.interrupted
     }
 
     /// Communities emitted so far (the current `k`).
@@ -119,12 +146,8 @@ impl<'g> CommK<'g> {
         self.ns.sweeps()
     }
 
-    fn track_memory(&mut self) {
-        let can_bytes: usize = self
-            .can_list
-            .iter()
-            .map(|t| t.core.byte_size() + 24)
-            .sum();
+    fn track_memory(&mut self) -> Result<(), InterruptReason> {
+        let can_bytes: usize = self.can_list.iter().map(|t| t.core.byte_size() + 24).sum();
         let heap_bytes = self.heap.len() * 48;
         let s_bytes: usize = self
             .s_sets
@@ -135,12 +158,19 @@ impl<'g> CommK<'g> {
         if bytes > self.peak_bytes {
             self.peak_bytes = bytes;
         }
+        self.guard.check_bytes(bytes)
     }
 
-    fn recompute_from_s(&mut self, i: usize) {
+    fn recompute_from_s(&mut self, i: usize) -> Result<(), InterruptReason> {
         let seeds: Vec<NodeId> = self.s_sets[i].iter().copied().collect();
-        self.ns
-            .recompute_dim(self.graph, &mut self.engine, i, seeds, self.rmax);
+        self.ns.recompute_dim_guarded(
+            self.graph,
+            &mut self.engine,
+            i,
+            seeds,
+            self.rmax,
+            &self.guard,
+        )
     }
 
     fn enheap(&mut self, tuple: CanTuple) {
@@ -151,11 +181,11 @@ impl<'g> CommK<'g> {
     }
 
     /// Lines 1–6: find the best core of the full space and enheap it.
-    fn start(&mut self) {
+    fn start(&mut self) -> Result<(), InterruptReason> {
         self.started = true;
         for i in 0..self.l {
             self.s_sets[i] = self.v_sets[i].iter().copied().collect();
-            self.recompute_from_s(i);
+            self.recompute_from_s(i)?;
         }
         if let Some(best) = self.ns.best_core_with(self.cost_fn) {
             self.enheap(CanTuple {
@@ -165,12 +195,12 @@ impl<'g> CommK<'g> {
                 prev: None,
             });
         }
-        self.track_memory();
+        self.track_memory()
     }
 
     /// The `Next()` procedure (lines 15–31): subdivide tuple `g`'s subspace
     /// and enheap the best core of each non-empty part.
-    fn expand(&mut self, g_idx: u32) {
+    fn expand(&mut self, g_idx: u32) -> Result<(), InterruptReason> {
         let (g_core, g_pos) = {
             let g = &self.can_list[g_idx as usize];
             (g.core.clone(), g.pos)
@@ -178,13 +208,14 @@ impl<'g> CommK<'g> {
         // Preparation (lines 16–18): pin every dimension to the deheaped
         // core's node and reset S_i to the full V_i.
         for i in 0..self.l {
-            self.ns.recompute_dim(
+            self.ns.recompute_dim_guarded(
                 self.graph,
                 &mut self.engine,
                 i,
                 [g_core.get(i)],
                 self.rmax,
-            );
+                &self.guard,
+            )?;
             self.s_sets[i] = self.v_sets[i].iter().copied().collect();
         }
         // Chain walk (lines 19–23, corrected — see module docs): rebuild
@@ -204,7 +235,7 @@ impl<'g> CommK<'g> {
         // Subdivision (lines 24–31), from dimension l−1 down to g.pos.
         for i in (g_pos..self.l).rev() {
             self.s_sets[i].remove(&g_core.get(i));
-            self.recompute_from_s(i);
+            self.recompute_from_s(i)?;
             if let Some(best) = self.ns.best_core_with(self.cost_fn) {
                 self.enheap(CanTuple {
                     core: best.core,
@@ -214,9 +245,14 @@ impl<'g> CommK<'g> {
                 });
             }
             self.s_sets[i].insert(g_core.get(i));
-            self.recompute_from_s(i);
+            self.recompute_from_s(i)?;
         }
-        self.track_memory();
+        self.track_memory()
+    }
+
+    /// Records a guard trip; subsequent `next()` calls yield `None`.
+    fn trip(&mut self, reason: InterruptReason) {
+        self.interrupted = Some(reason);
     }
 }
 
@@ -224,15 +260,41 @@ impl<'g> Iterator for CommK<'g> {
     type Item = Community;
 
     fn next(&mut self) -> Option<Community> {
+        if self.interrupted.is_some() {
+            return None;
+        }
         if !self.started {
-            self.start();
+            if let Err(reason) = self.start() {
+                self.trip(reason);
+                return None;
+            }
         }
         let (_, g_idx) = self.heap.pop_min()?;
+        // Candidate budget k ⇒ exactly k communities emitted.
+        if let Err(reason) = self.guard.note_candidate() {
+            self.trip(reason);
+            return None;
+        }
         let core = self.can_list[g_idx as usize].core.clone();
-        let community =
-            get_community_with(self.graph, &mut self.engine, &core, self.rmax, self.cost_fn)
-                .expect("a core returned by BestCore always has a center");
-        self.expand(g_idx);
+        let community = match get_community_guarded(
+            self.graph,
+            &mut self.engine,
+            &core,
+            self.rmax,
+            self.cost_fn,
+            &self.guard,
+        ) {
+            Ok(c) => c.expect("a core returned by BestCore always has a center"),
+            Err(reason) => {
+                self.trip(reason);
+                return None;
+            }
+        };
+        // A trip while subdividing still emits the community already
+        // materialized: output stays an exact prefix of the ranked order.
+        if let Err(reason) = self.expand(g_idx) {
+            self.trip(reason);
+        }
         self.emitted += 1;
         Some(community)
     }
@@ -243,13 +305,41 @@ pub fn comm_k(graph: &Graph, spec: &QuerySpec, k: usize) -> Vec<Community> {
     CommK::new(graph, spec).take(k).collect()
 }
 
+/// [`comm_k`] validating the spec and running under `guard`.
+///
+/// An interrupted run returns `Outcome::Interrupted` carrying the ranked
+/// prefix emitted before the trip. Pair with
+/// [`RunGuard::with_candidate_budget`] for an exact top-k cut.
+pub fn comm_k_guarded(
+    graph: &Graph,
+    spec: &QuerySpec,
+    k: usize,
+    guard: RunGuard,
+) -> Result<Outcome<Vec<Community>>, QueryError> {
+    let mut it = CommK::try_new(graph, spec)?.with_guard(guard);
+    let mut out = Vec::new();
+    for c in it.by_ref().take(k) {
+        out.push(c);
+    }
+    Ok(match it.interrupted() {
+        None => Outcome::Complete(out),
+        Some(reason) => Outcome::Interrupted {
+            reason,
+            partial: out,
+        },
+    })
+}
+
+/// [`comm_k`] with up-front validation and no execution limits.
+pub fn try_comm_k(graph: &Graph, spec: &QuerySpec, k: usize) -> Result<Vec<Community>, QueryError> {
+    Ok(comm_k_guarded(graph, spec, k, RunGuard::unlimited())?.into_value())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::naive::naive_all_cores;
-    use comm_datasets::paper_example::{
-        fig4_graph, fig4_keyword_nodes, fig4_table1, FIG4_RMAX,
-    };
+    use comm_datasets::paper_example::{fig4_graph, fig4_keyword_nodes, fig4_table1, FIG4_RMAX};
 
     fn fig4_spec(rmax: f64) -> QuerySpec {
         QuerySpec::new(fig4_keyword_nodes(), Weight::new(rmax))
@@ -316,9 +406,8 @@ mod tests {
         for rmax in [4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 12.0] {
             let spec = fig4_spec(rmax);
             let expect = naive_all_cores(&g, &spec);
-            let got: Vec<(Core, Weight)> = CommK::new(&g, &spec)
-                .map(|c| (c.core, c.cost))
-                .collect();
+            let got: Vec<(Core, Weight)> =
+                CommK::new(&g, &spec).map(|c| (c.core, c.cost)).collect();
             // Same multiset of cores…
             let mut a: Vec<_> = got.iter().map(|(c, _)| c.clone()).collect();
             a.sort();
@@ -360,12 +449,39 @@ mod tests {
     }
 
     #[test]
+    fn candidate_budget_yields_ranked_prefix() {
+        let g = fig4_graph();
+        let spec = fig4_spec(FIG4_RMAX);
+        let full: Vec<Core> = CommK::new(&g, &spec).map(|c| c.core).collect();
+        for b in 0..full.len() {
+            let guard = RunGuard::new().with_candidate_budget(b as u64);
+            let out = comm_k_guarded(&g, &spec, 10, guard).unwrap();
+            assert_eq!(
+                out.reason(),
+                Some(InterruptReason::CandidateBudgetExhausted)
+            );
+            let got: Vec<Core> = out.into_value().into_iter().map(|c| c.core).collect();
+            assert_eq!(got, full[..b], "budget {b}");
+        }
+    }
+
+    #[test]
+    fn try_comm_k_rejects_bad_specs() {
+        let g = fig4_graph();
+        let bad = QuerySpec::new(vec![vec![NodeId(4), NodeId(500)]], Weight::new(8.0));
+        assert!(matches!(
+            try_comm_k(&g, &bad, 3),
+            Err(QueryError::NodeOutOfRange { dim: 0, .. })
+        ));
+        let top = try_comm_k(&g, &fig4_spec(FIG4_RMAX), 2).unwrap();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].cost, Weight::new(7.0));
+    }
+
+    #[test]
     fn empty_result_when_no_center_exists() {
         let g = fig4_graph();
-        let spec = QuerySpec::new(
-            vec![vec![NodeId(4)], vec![NodeId(13)]],
-            Weight::new(1.0),
-        );
+        let spec = QuerySpec::new(vec![vec![NodeId(4)], vec![NodeId(13)]], Weight::new(1.0));
         assert_eq!(CommK::new(&g, &spec).count(), 0);
     }
 }

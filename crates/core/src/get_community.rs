@@ -14,8 +14,9 @@
 //! and `V = { u | dist(s,u) + dist(u,t) ≤ Rmax }` — centers, knodes, and all
 //! path nodes. The induced subgraph over `V` is the community.
 
+use crate::error::{validate_radius, QueryError};
 use crate::types::{Community, Core, CostFn};
-use comm_graph::{DijkstraEngine, Direction, Graph, NodeId, Weight};
+use comm_graph::{DijkstraEngine, Direction, Graph, InterruptReason, NodeId, RunGuard, Weight};
 
 /// Materializes the community uniquely determined by `core`, costing it
 /// with the paper's default sum cost.
@@ -40,6 +41,50 @@ pub fn get_community_with(
     rmax: Weight,
     cost_fn: CostFn,
 ) -> Option<Community> {
+    get_community_guarded(graph, engine, core, rmax, cost_fn, &RunGuard::unlimited())
+        .expect("unlimited guard never trips")
+}
+
+/// [`get_community_with`] validating the core (node range, radius) up
+/// front and reporting guard trips as [`QueryError::Interrupted`] instead
+/// of panicking anywhere.
+pub fn try_get_community(
+    graph: &Graph,
+    engine: &mut DijkstraEngine,
+    core: &Core,
+    rmax: Weight,
+    cost_fn: CostFn,
+    guard: &RunGuard,
+) -> Result<Option<Community>, QueryError> {
+    if core.is_empty() {
+        return Err(QueryError::NoKeywords);
+    }
+    validate_radius(rmax.get())?;
+    for (dim, &node) in core.0.iter().enumerate() {
+        if node.index() >= graph.node_count() {
+            return Err(QueryError::NodeOutOfRange {
+                dim,
+                node,
+                node_count: graph.node_count(),
+            });
+        }
+    }
+    Ok(get_community_guarded(
+        graph, engine, core, rmax, cost_fn, guard,
+    )?)
+}
+
+/// [`get_community_with`] under a [`RunGuard`], consulted per settled node
+/// of the three sweeps. There is no meaningful partial community, so an
+/// interrupted materialization returns the bare reason.
+pub fn get_community_guarded(
+    graph: &Graph,
+    engine: &mut DijkstraEngine,
+    core: &Core,
+    rmax: Weight,
+    cost_fn: CostFn,
+    guard: &RunGuard,
+) -> Result<Option<Community>, InterruptReason> {
     let n = graph.node_count();
     let l = core.len();
     debug_assert!(l > 0);
@@ -53,14 +98,14 @@ pub fn get_community_with(
     let mut count = vec![0usize; n];
     for &c in &distinct {
         let multiplicity = core.0.iter().filter(|&&x| x == c).count();
-        engine.run(graph, Direction::Reverse, [c], rmax, |s| {
+        engine.run_guarded(graph, Direction::Reverse, [c], rmax, guard, |s| {
             let u = s.node.index();
             sum[u] += s.dist.get() * multiplicity as f64;
             if s.dist > maxd[u] {
                 maxd[u] = s.dist;
             }
             count[u] += multiplicity;
-        });
+        })?;
     }
     let mut centers: Vec<NodeId> = Vec::new();
     let mut cost = Weight::INFINITY;
@@ -77,35 +122,37 @@ pub fn get_community_with(
         }
     }
     if centers.is_empty() {
-        return None;
+        return Ok(None);
     }
 
     // Step 2: forward sweep from the virtual source over the centers.
     let mut dist_s = vec![Weight::INFINITY; n];
-    engine.run(
+    engine.run_guarded(
         graph,
         Direction::Forward,
         centers.iter().copied(),
         rmax,
+        guard,
         |s| {
             dist_s[s.node.index()] = s.dist;
         },
-    );
+    )?;
 
     // Step 3: backward sweep from the virtual sink over the knodes.
     let mut members: Vec<NodeId> = Vec::new();
-    engine.run(
+    engine.run_guarded(
         graph,
         Direction::Reverse,
         distinct.iter().copied(),
         rmax,
+        guard,
         |s| {
             let u = s.node.index();
             if dist_s[u].is_finite() && dist_s[u] + s.dist <= rmax {
                 members.push(s.node);
             }
         },
-    );
+    )?;
     members.sort_unstable();
 
     debug_assert!(centers.iter().all(|c| members.binary_search(c).is_ok()));
@@ -118,14 +165,14 @@ pub fn get_community_with(
         .filter(|u| centers.binary_search(u).is_err() && distinct.binary_search(u).is_err())
         .collect();
 
-    Some(Community {
+    Ok(Some(Community {
         core: core.clone(),
         cost,
         centers,
         knodes: distinct,
         path_nodes,
         subgraph,
-    })
+    }))
 }
 
 #[cfg(test)]

@@ -15,11 +15,12 @@
 //! sweep-sharing idea. The `ablation-lawler` benchmark table measures the
 //! gap; `neighbor_sweeps()` counts it exactly.
 
-use crate::get_community::get_community_with;
+use crate::error::QueryError;
+use crate::get_community::get_community_guarded;
 use crate::neighbor::NeighborSets;
 use crate::types::{Community, Core, CostFn, QuerySpec};
 use comm_fibheap::FibHeap;
-use comm_graph::{DijkstraEngine, Graph, NodeId, Weight};
+use comm_graph::{DijkstraEngine, Graph, InterruptReason, NodeId, RunGuard, Weight};
 use std::collections::BTreeSet;
 
 #[derive(Clone, Debug)]
@@ -42,6 +43,9 @@ pub struct LawlerK<'g> {
     heap: FibHeap<(Weight, u32), u32>,
     emitted: usize,
     started: bool,
+    guard: RunGuard,
+    /// Set once the guard trips; the iterator then yields `None` forever.
+    interrupted: Option<InterruptReason>,
 }
 
 impl<'g> LawlerK<'g> {
@@ -61,7 +65,30 @@ impl<'g> LawlerK<'g> {
             heap: FibHeap::new(),
             emitted: 0,
             started: false,
+            guard: RunGuard::unlimited(),
+            interrupted: None,
         }
+    }
+
+    /// Like [`new`](Self::new), but validates the spec against the graph
+    /// instead of panicking on malformed input.
+    pub fn try_new(graph: &'g Graph, spec: &QuerySpec) -> Result<LawlerK<'g>, QueryError> {
+        spec.validate_for(graph)?;
+        Ok(LawlerK::new(graph, spec))
+    }
+
+    /// Attaches an execution governor; see [`CommAll::with_guard`] for the
+    /// contract (guarded output is always a prefix of the unguarded order).
+    ///
+    /// [`CommAll::with_guard`]: crate::CommAll::with_guard
+    pub fn with_guard(mut self, guard: RunGuard) -> LawlerK<'g> {
+        self.guard = guard;
+        self
+    }
+
+    /// Why enumeration stopped early, if the guard tripped.
+    pub fn interrupted(&self) -> Option<InterruptReason> {
+        self.interrupted
     }
 
     /// Communities emitted so far.
@@ -100,25 +127,32 @@ impl<'g> LawlerK<'g> {
         split_dim: usize,
         removed: &[BTreeSet<NodeId>],
         extra_removed: NodeId,
-    ) -> Option<(Core, Weight)> {
-        for j in 0..self.l {
+    ) -> Result<Option<(Core, Weight)>, InterruptReason> {
+        for (j, removed_j) in removed.iter().enumerate() {
             let seeds: Vec<NodeId> = if j < split_dim {
                 vec![pinned.get(j)]
             } else if j == split_dim {
                 self.v_sets[j]
                     .iter()
                     .copied()
-                    .filter(|v| !removed[j].contains(v) && *v != extra_removed)
+                    .filter(|v| !removed_j.contains(v) && *v != extra_removed)
                     .collect()
             } else {
                 self.v_sets[j].clone()
             };
-            self.ns
-                .recompute_dim(self.graph, &mut self.engine, j, seeds, self.rmax);
+            self.ns.recompute_dim_guarded(
+                self.graph,
+                &mut self.engine,
+                j,
+                seeds,
+                self.rmax,
+                &self.guard,
+            )?;
         }
-        self.ns
+        Ok(self
+            .ns
             .best_core_with(self.cost_fn)
-            .map(|b| (b.core, b.cost))
+            .map(|b| (b.core, b.cost)))
     }
 
     fn enheap(&mut self, core: Core, cost: Weight, pos: usize, prev: Option<u32>) {
@@ -127,19 +161,26 @@ impl<'g> LawlerK<'g> {
         self.heap.push((cost, idx), idx);
     }
 
-    fn start(&mut self) {
+    fn start(&mut self) -> Result<(), InterruptReason> {
         self.started = true;
         for j in 0..self.l {
             let seeds = self.v_sets[j].clone();
-            self.ns
-                .recompute_dim(self.graph, &mut self.engine, j, seeds, self.rmax);
+            self.ns.recompute_dim_guarded(
+                self.graph,
+                &mut self.engine,
+                j,
+                seeds,
+                self.rmax,
+                &self.guard,
+            )?;
         }
         if let Some(best) = self.ns.best_core_with(self.cost_fn) {
             self.enheap(best.core, best.cost, 0, None);
         }
+        Ok(())
     }
 
-    fn expand(&mut self, g_idx: u32) {
+    fn expand(&mut self, g_idx: u32) -> Result<(), InterruptReason> {
         let (g_core, g_pos) = {
             let g = &self.can_list[g_idx as usize];
             (g.core.clone(), g.pos)
@@ -147,11 +188,17 @@ impl<'g> LawlerK<'g> {
         let removed = self.chain_removals(g_idx);
         for i in (g_pos..self.l).rev() {
             if let Some((core, cost)) =
-                self.best_in_subspace(&g_core, i, &removed, g_core.get(i))
+                self.best_in_subspace(&g_core, i, &removed, g_core.get(i))?
             {
                 self.enheap(core, cost, i, Some(g_idx));
             }
         }
+        Ok(())
+    }
+
+    /// Records a guard trip; subsequent `next()` calls yield `None`.
+    fn trip(&mut self, reason: InterruptReason) {
+        self.interrupted = Some(reason);
     }
 }
 
@@ -159,15 +206,38 @@ impl<'g> Iterator for LawlerK<'g> {
     type Item = Community;
 
     fn next(&mut self) -> Option<Community> {
+        if self.interrupted.is_some() {
+            return None;
+        }
         if !self.started {
-            self.start();
+            if let Err(reason) = self.start() {
+                self.trip(reason);
+                return None;
+            }
         }
         let (_, g_idx) = self.heap.pop_min()?;
+        if let Err(reason) = self.guard.note_candidate() {
+            self.trip(reason);
+            return None;
+        }
         let core = self.can_list[g_idx as usize].core.clone();
-        let community =
-            get_community_with(self.graph, &mut self.engine, &core, self.rmax, self.cost_fn)
-                .expect("a core returned by BestCore always has a center");
-        self.expand(g_idx);
+        let community = match get_community_guarded(
+            self.graph,
+            &mut self.engine,
+            &core,
+            self.rmax,
+            self.cost_fn,
+            &self.guard,
+        ) {
+            Ok(c) => c.expect("a core returned by BestCore always has a center"),
+            Err(reason) => {
+                self.trip(reason);
+                return None;
+            }
+        };
+        if let Err(reason) = self.expand(g_idx) {
+            self.trip(reason);
+        }
         self.emitted += 1;
         Some(community)
     }
@@ -223,6 +293,23 @@ mod tests {
         let ours: Vec<Weight> = CommK::new(&g, &spec).map(|c| c.cost).collect();
         let lawler: Vec<Weight> = LawlerK::new(&g, &spec).map(|c| c.cost).collect();
         assert_eq!(ours, lawler);
+    }
+
+    #[test]
+    fn guarded_prefix_matches_comm_k() {
+        let g = fig4_graph();
+        let spec = fig4_spec();
+        let full: Vec<Core> = CommK::new(&g, &spec).map(|c| c.core).collect();
+        for b in 0..full.len() {
+            let guard = RunGuard::new().with_candidate_budget(b as u64);
+            let mut it = LawlerK::try_new(&g, &spec).unwrap().with_guard(guard);
+            let got: Vec<Core> = it.by_ref().map(|c| c.core).collect();
+            assert_eq!(got, full[..b], "budget {b}");
+            assert_eq!(
+                it.interrupted(),
+                Some(InterruptReason::CandidateBudgetExhausted)
+            );
+        }
     }
 
     #[test]

@@ -19,6 +19,15 @@
 //! * [`NeighborSets`] — Algorithms 2 & 3 (`Neighbor()` / `BestCore()`);
 //! * [`naive`] — the exponential nested-loop oracle of Sec. III.
 //!
+//! # Execution control
+//!
+//! Every enumeration entry point has a `try_*` / `*_guarded` variant that
+//! validates the [`QuerySpec`] up front (returning [`QueryError`] instead
+//! of panicking) and accepts a [`RunGuard`] — a cancel flag, deadline, and
+//! budget governor threaded through every Dijkstra sweep. Interrupted runs
+//! return [`Outcome::Interrupted`] carrying the communities emitted before
+//! the trip, always an exact prefix of the unguarded enumeration.
+//!
 //! # Quickstart
 //! ```
 //! use comm_core::{comm_k, QuerySpec};
@@ -35,9 +44,10 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
-pub mod dot;
 mod comm_all;
 mod comm_k;
+pub mod dot;
+mod error;
 mod get_community;
 pub mod lawler;
 pub mod naive;
@@ -46,11 +56,20 @@ mod projection;
 pub mod trees;
 mod types;
 
-pub use baselines::{bu_all, bu_topk, td_all, td_topk, BaselineRun, BaselineStats};
-pub use comm_all::{comm_all, CommAll};
-pub use comm_k::{comm_k, CommK};
-pub use get_community::{get_community, get_community_with};
+pub use baselines::{
+    bu_all, bu_all_guarded, bu_topk, bu_topk_guarded, td_all, td_all_guarded, td_topk,
+    td_topk_guarded, BaselineRun, BaselineStats,
+};
+pub use comm_all::{comm_all, comm_all_guarded, try_comm_all, CommAll};
+pub use comm_k::{comm_k, comm_k_guarded, try_comm_k, CommK};
+pub use error::QueryError;
+pub use get_community::{
+    get_community, get_community_guarded, get_community_with, try_get_community,
+};
 pub use lawler::LawlerK;
 pub use neighbor::{BestCore, NeighborSets};
 pub use projection::{ProjectedQuery, ProjectionIndex};
 pub use types::{Community, Core, CostFn, QuerySpec};
+
+// Re-export the guard vocabulary so downstream users need only this crate.
+pub use comm_graph::{InterruptReason, Outcome, RunGuard};

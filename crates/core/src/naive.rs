@@ -40,9 +40,7 @@ pub fn naive_all_cores(graph: &Graph, spec: &QuerySpec) -> Vec<(Core, Weight)> {
     let mut combo = vec![0usize; l];
     'outer: loop {
         // Evaluate the current combination.
-        let core: Vec<NodeId> = (0..l)
-            .map(|i| spec.keyword_nodes[i][combo[i]])
-            .collect();
+        let core: Vec<NodeId> = (0..l).map(|i| spec.keyword_nodes[i][combo[i]]).collect();
         let mut best = Weight::INFINITY;
         #[allow(clippy::needless_range_loop)] // u indexes l parallel arrays
         for u in 0..n {
@@ -172,7 +170,10 @@ mod tests {
             .into_iter()
             .map(|(_, core, cost, _)| (core.to_vec(), cost))
             .collect();
-        assert_eq!(got, expect, "naive enumeration must reproduce Table I in rank order");
+        assert_eq!(
+            got, expect,
+            "naive enumeration must reproduce Table I in rank order"
+        );
     }
 
     #[test]

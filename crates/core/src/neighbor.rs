@@ -9,7 +9,7 @@
 //! Dijkstra, exactly as claimed in Sec. IV-A.
 
 use crate::types::{Core, CostFn};
-use comm_graph::{DijkstraEngine, Direction, Graph, NodeId, Weight};
+use comm_graph::{DijkstraEngine, Direction, Graph, InterruptReason, NodeId, RunGuard, Weight};
 
 const NO_SRC: u32 = u32::MAX;
 
@@ -99,6 +99,23 @@ impl NeighborSets {
         seeds: impl IntoIterator<Item = NodeId>,
         rmax: Weight,
     ) {
+        self.recompute_dim_guarded(graph, engine, i, seeds, rmax, &RunGuard::unlimited())
+            .expect("unlimited guard never trips")
+    }
+
+    /// Like [`recompute_dim`](Self::recompute_dim), but consults `guard`
+    /// per settled node. On interruption dimension `i` is left partially
+    /// refilled — callers must abandon the whole enumeration (which every
+    /// guarded enumerator does), not keep scanning for cores.
+    pub fn recompute_dim_guarded(
+        &mut self,
+        graph: &Graph,
+        engine: &mut DijkstraEngine,
+        i: usize,
+        seeds: impl IntoIterator<Item = NodeId>,
+        rmax: Weight,
+        guard: &RunGuard,
+    ) -> Result<(), InterruptReason> {
         debug_assert!(i < self.l);
         self.sweeps += 1;
         let n = self.n;
@@ -123,13 +140,14 @@ impl NeighborSets {
         // Refill from the truncated reverse Dijkstra.
         let sum = &mut self.sum;
         let count = &mut self.count;
-        engine.run(graph, Direction::Reverse, seeds, rmax, |s| {
+        engine.run_guarded(graph, Direction::Reverse, seeds, rmax, guard, |s| {
             let u = s.node.index();
             dist[u] = s.dist;
             src[u] = s.source.0;
             sum[u] += s.dist;
             count[u] += 1;
-        });
+        })?;
+        Ok(())
     }
 
     /// `BestCore()` (Algorithm 3) under the paper's sum cost: scans
@@ -223,8 +241,14 @@ mod tests {
         let (_, ns, _) = build(8.0);
         let ids = |v: Vec<NodeId>| v.into_iter().map(|n| n.0).collect::<Vec<_>>();
         assert_eq!(ids(ns.neighbor_set(0)), vec![1, 4, 5, 7, 8, 9, 11, 12, 13]);
-        assert_eq!(ids(ns.neighbor_set(1)), vec![1, 2, 4, 5, 7, 8, 9, 10, 11, 12]);
-        assert_eq!(ids(ns.neighbor_set(2)), vec![1, 2, 3, 4, 5, 6, 7, 9, 11, 12]);
+        assert_eq!(
+            ids(ns.neighbor_set(1)),
+            vec![1, 2, 4, 5, 7, 8, 9, 10, 11, 12]
+        );
+        assert_eq!(
+            ids(ns.neighbor_set(2)),
+            vec![1, 2, 3, 4, 5, 6, 7, 9, 11, 12]
+        );
         // Intersection from the walkthrough: {1,4,5,7,9,11,12}.
         assert_eq!(ids(ns.intersection()), vec![1, 4, 5, 7, 9, 11, 12]);
     }

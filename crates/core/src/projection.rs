@@ -17,9 +17,11 @@
 //! exactly the communities of the full graph (tested by the projection
 //! property tests).
 
+use crate::error::{validate_radius, QueryError};
 use crate::types::QuerySpec;
 use comm_graph::{
-    Direction, DijkstraEngine, Graph, GraphBuilder, InducedGraph, NodeId, Weight,
+    DijkstraEngine, Direction, Graph, GraphBuilder, InducedGraph, InterruptReason, NodeId,
+    RunGuard, Weight,
 };
 use std::collections::HashMap;
 
@@ -59,6 +61,19 @@ impl ProjectionIndex {
         keywords: impl IntoIterator<Item = (&'a str, &'a [NodeId])>,
         radius: Weight,
     ) -> ProjectionIndex {
+        Self::build_guarded(graph, keywords, radius, &RunGuard::unlimited())
+            .expect("unlimited guard never trips")
+    }
+
+    /// [`build`](Self::build) under a [`RunGuard`], consulted per settled
+    /// node of the per-keyword sweeps. Index construction has no useful
+    /// partial result, so a trip returns the bare reason.
+    pub fn build_guarded<'a>(
+        graph: &Graph,
+        keywords: impl IntoIterator<Item = (&'a str, &'a [NodeId])>,
+        radius: Weight,
+        guard: &RunGuard,
+    ) -> Result<ProjectionIndex, InterruptReason> {
         let n = graph.node_count();
         let mut engine = DijkstraEngine::new(n);
         let mut entries = HashMap::new();
@@ -71,10 +86,17 @@ impl ProjectionIndex {
             nodes.dedup();
             epoch += 1;
             let mut reached: Vec<NodeId> = Vec::new();
-            engine.run(graph, Direction::Reverse, nodes.iter().copied(), radius, |s| {
-                stamp[s.node.index()] = epoch;
-                reached.push(s.node);
-            });
+            engine.run_guarded(
+                graph,
+                Direction::Reverse,
+                nodes.iter().copied(),
+                radius,
+                guard,
+                |s| {
+                    stamp[s.node.index()] = epoch;
+                    reached.push(s.node);
+                },
+            )?;
             let mut edges = Vec::new();
             for &u in &reached {
                 for (v, w) in graph.out_neighbors(u) {
@@ -83,16 +105,13 @@ impl ProjectionIndex {
                     }
                 }
             }
-            entries.insert(
-                kw.to_lowercase(),
-                KeywordEntry { nodes, edges },
-            );
+            entries.insert(kw.to_lowercase(), KeywordEntry { nodes, edges });
         }
-        ProjectionIndex {
+        Ok(ProjectionIndex {
             radius,
             entries,
             node_count: n,
-        }
+        })
     }
 
     /// The maximum `Rmax` this index supports.
@@ -143,16 +162,42 @@ impl ProjectionIndex {
     /// If `rmax` exceeds the index radius `R` (the projection would be
     /// incomplete, silently dropping communities).
     pub fn project(&self, keywords: &[&str], rmax: Weight) -> Option<ProjectedQuery> {
-        assert!(
-            rmax <= self.radius,
-            "query Rmax {rmax} exceeds index radius {}",
-            self.radius
-        );
+        match self.try_project(keywords, rmax, &RunGuard::unlimited()) {
+            Ok(pq) => Some(pq),
+            Err(QueryError::UnknownKeyword(_)) => None,
+            Err(e @ QueryError::RadiusExceedsIndex { .. }) => panic!("{e}"),
+            Err(e) => panic!("unlimited projection cannot fail: {e}"),
+        }
+    }
+
+    /// [`project`](Self::project) reporting every failure mode as a
+    /// [`QueryError`] — including a guard trip mid-projection, since a
+    /// partial projection would silently drop communities.
+    pub fn try_project(
+        &self,
+        keywords: &[&str],
+        rmax: Weight,
+        guard: &RunGuard,
+    ) -> Result<ProjectedQuery, QueryError> {
+        if keywords.is_empty() {
+            return Err(QueryError::NoKeywords);
+        }
+        validate_radius(rmax.get())?;
+        if rmax > self.radius {
+            return Err(QueryError::RadiusExceedsIndex {
+                rmax: rmax.get(),
+                index_radius: self.radius.get(),
+            });
+        }
         // Assemble the union graph G'(V', E') of the keywords' entries
         // (lines 1–9). Dedup edges across keywords.
         let mut w_sets: Vec<&KeywordEntry> = Vec::with_capacity(keywords.len());
         for kw in keywords {
-            w_sets.push(self.entries.get(&kw.to_lowercase())?);
+            w_sets.push(
+                self.entries
+                    .get(&kw.to_lowercase())
+                    .ok_or_else(|| QueryError::UnknownKeyword((*kw).to_string()))?,
+            );
         }
         let mut union_edges: Vec<(NodeId, NodeId, Weight)> = Vec::new();
         for e in &w_sets {
@@ -185,9 +230,9 @@ impl ProjectionIndex {
         let mut count = vec![0usize; np];
         for e in &w_sets {
             let seeds: Vec<NodeId> = e.nodes.iter().map(|&v| local(v)).collect();
-            engine.run(&g_prime, Direction::Reverse, seeds, rmax, |s| {
+            engine.run_guarded(&g_prime, Direction::Reverse, seeds, rmax, guard, |s| {
                 count[s.node.index()] += 1;
-            });
+            })?;
         }
         let centers: Vec<NodeId> = (0..np)
             .filter(|&u| count[u] == w_sets.len())
@@ -197,15 +242,16 @@ impl ProjectionIndex {
         // Double sweep (lines 10–14): keep v with dist(s,v) + dist(v,t) ≤ rmax,
         // where s feeds the centers and t drains all keyword nodes W'.
         let mut dist_s = vec![Weight::INFINITY; np];
-        engine.run(
+        engine.run_guarded(
             &g_prime,
             Direction::Forward,
             centers.iter().copied(),
             rmax,
+            guard,
             |s| {
                 dist_s[s.node.index()] = s.dist;
             },
-        );
+        )?;
         let mut all_kw_local: Vec<NodeId> = w_sets
             .iter()
             .flat_map(|e| e.nodes.iter().map(|&v| local(v)))
@@ -213,13 +259,20 @@ impl ProjectionIndex {
         all_kw_local.sort_unstable();
         all_kw_local.dedup();
         let mut keep: Vec<NodeId> = Vec::new();
-        engine.run(&g_prime, Direction::Reverse, all_kw_local, rmax, |s| {
-            let u = s.node.index();
-            if dist_s[u].is_finite() && dist_s[u] + s.dist <= rmax {
-                // Translate back to original ids for the final induction.
-                keep.push(v_union[u]);
-            }
-        });
+        engine.run_guarded(
+            &g_prime,
+            Direction::Reverse,
+            all_kw_local,
+            rmax,
+            guard,
+            |s| {
+                let u = s.node.index();
+                if dist_s[u].is_finite() && dist_s[u] + s.dist <= rmax {
+                    // Translate back to original ids for the final induction.
+                    keep.push(v_union[u]);
+                }
+            },
+        )?;
         keep.sort_unstable();
 
         // Final projected graph G_P over original ids (line 15-16); edges
@@ -259,7 +312,7 @@ impl ProjectionIndex {
                 .collect(),
             rmax,
         );
-        Some(ProjectedQuery { projected, spec })
+        Ok(ProjectedQuery { projected, spec })
     }
 
     /// Fraction of `G_D`'s nodes that survive projection for a query —
@@ -319,9 +372,15 @@ mod tests {
         let kn = fig4_keyword_nodes();
         // Verify the invertedE definition for keyword "b".
         let mut dist = vec![Weight::INFINITY; g.node_count()];
-        engine.run(&g, Direction::Reverse, kn[1].iter().copied(), Weight::new(8.0), |s| {
-            dist[s.node.index()] = s.dist;
-        });
+        engine.run(
+            &g,
+            Direction::Reverse,
+            kn[1].iter().copied(),
+            Weight::new(8.0),
+            |s| {
+                dist[s.node.index()] = s.dist;
+            },
+        );
         for &(u, v, _) in idx.edges_of("b") {
             assert!(dist[u.index()].is_finite(), "u={u} not within R of V_b");
             assert!(dist[v.index()].is_finite(), "v={v} not within R of V_b");
@@ -339,7 +398,9 @@ mod tests {
         let (g, idx) = index(8.0);
         let full_spec = QuerySpec::new(fig4_keyword_nodes(), Weight::new(FIG4_RMAX));
         let full = cores_on(&g, &full_spec);
-        let pq = idx.project(&["a", "b", "c"], Weight::new(FIG4_RMAX)).unwrap();
+        let pq = idx
+            .project(&["a", "b", "c"], Weight::new(FIG4_RMAX))
+            .unwrap();
         // Enumerate on the projected graph and translate back.
         let projected: BTreeSet<Vec<u32>> = comm_all(&pq.projected.graph, &pq.spec)
             .into_iter()
@@ -358,8 +419,13 @@ mod tests {
     fn projection_preserves_topk_order() {
         let (g, idx) = index(8.0);
         let full_spec = QuerySpec::new(fig4_keyword_nodes(), Weight::new(FIG4_RMAX));
-        let full: Vec<f64> = comm_k(&g, &full_spec, 5).iter().map(|c| c.cost.get()).collect();
-        let pq = idx.project(&["a", "b", "c"], Weight::new(FIG4_RMAX)).unwrap();
+        let full: Vec<f64> = comm_k(&g, &full_spec, 5)
+            .iter()
+            .map(|c| c.cost.get())
+            .collect();
+        let pq = idx
+            .project(&["a", "b", "c"], Weight::new(FIG4_RMAX))
+            .unwrap();
         let proj: Vec<f64> = comm_k(&pq.projected.graph, &pq.spec, 5)
             .iter()
             .map(|c| c.cost.get())
@@ -389,5 +455,49 @@ mod tests {
     fn unknown_keyword_gives_none() {
         let (_, idx) = index(8.0);
         assert!(idx.project(&["a", "nope"], Weight::new(6.0)).is_none());
+    }
+
+    #[test]
+    fn try_project_reports_structured_errors() {
+        let (_, idx) = index(8.0);
+        let g = RunGuard::unlimited();
+        assert!(matches!(
+            idx.try_project(&[], Weight::new(4.0), &g),
+            Err(QueryError::NoKeywords)
+        ));
+        assert!(matches!(
+            idx.try_project(&["a", "nope"], Weight::new(4.0), &g),
+            Err(QueryError::UnknownKeyword(kw)) if kw == "nope"
+        ));
+        assert!(matches!(
+            idx.try_project(&["a", "b"], Weight::new(9.0), &g),
+            Err(QueryError::RadiusExceedsIndex { .. })
+        ));
+        // A guard trip surfaces as Interrupted, never as a partial graph.
+        let tripping = RunGuard::new().with_settled_budget(1);
+        assert!(matches!(
+            idx.try_project(&["a", "b"], Weight::new(6.0), &tripping),
+            Err(QueryError::Interrupted(
+                InterruptReason::SettledBudgetExhausted
+            ))
+        ));
+        assert!(idx.try_project(&["a", "b"], Weight::new(6.0), &g).is_ok());
+    }
+
+    #[test]
+    fn guarded_build_matches_unguarded() {
+        let g = fig4_graph();
+        let kn = fig4_keyword_nodes();
+        let kws = [("a", kn[0].as_slice()), ("b", kn[1].as_slice())];
+        let idx =
+            ProjectionIndex::build_guarded(&g, kws, Weight::new(8.0), &RunGuard::new()).unwrap();
+        assert_eq!(idx.keyword_count(), 2);
+        let tripped = ProjectionIndex::build_guarded(
+            &g,
+            kws,
+            Weight::new(8.0),
+            &RunGuard::new().with_settled_budget(2),
+        );
+        assert_eq!(tripped.err(), Some(InterruptReason::SettledBudgetExhausted));
     }
 }

@@ -78,14 +78,20 @@ fn grow_forest(graph: &Graph, spec: &QuerySpec, engine: &mut DijkstraEngine) -> 
         let dist = &mut forest.dist[i];
         let next = &mut forest.next[i];
         let target = &mut forest.target[i];
-        engine.run(graph, Direction::Reverse, v_i.iter().copied(), spec.rmax, |s| {
-            let u = s.node;
-            dist[u.index()] = s.dist;
-            target[u.index()] = s.source.0;
-            if s.node != s.parent {
-                next[u.index()] = s.parent.0;
-            }
-        });
+        engine.run(
+            graph,
+            Direction::Reverse,
+            v_i.iter().copied(),
+            spec.rmax,
+            |s| {
+                let u = s.node;
+                dist[u.index()] = s.dist;
+                target[u.index()] = s.source.0;
+                if s.node != s.parent {
+                    next[u.index()] = s.parent.0;
+                }
+            },
+        );
     }
     forest
 }
@@ -127,9 +133,7 @@ pub fn topk_trees(graph: &Graph, spec: &QuerySpec, k: usize) -> Vec<TreeAnswer> 
                 let mut u = root;
                 while forest.dist[i][u.index()] > Weight::ZERO {
                     let v = NodeId(forest.next[i][u.index()]);
-                    let w = forest.dist[i][u.index()]
-                        .get()
-                        - forest.dist[i][v.index()].get();
+                    let w = forest.dist[i][u.index()].get() - forest.dist[i][v.index()].get();
                     edges.insert((u, v), Weight::new(w.max(0.0)));
                     u = v;
                 }

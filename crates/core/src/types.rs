@@ -1,6 +1,7 @@
 //! Shared types: queries, cores, and communities.
 
-use comm_graph::{InducedGraph, NodeId, Weight};
+use crate::error::{validate_nodes, validate_radius, QueryError};
+use comm_graph::{Graph, InducedGraph, NodeId, Weight};
 use std::fmt;
 
 /// The community cost function.
@@ -27,10 +28,7 @@ impl CostFn {
     pub fn combine(self, dists: impl IntoIterator<Item = Weight>) -> Weight {
         match self {
             CostFn::SumDistances => dists.into_iter().sum(),
-            CostFn::MaxDistance => dists
-                .into_iter()
-                .max()
-                .unwrap_or(Weight::ZERO),
+            CostFn::MaxDistance => dists.into_iter().max().unwrap_or(Weight::ZERO),
         }
     }
 }
@@ -64,6 +62,30 @@ impl QuerySpec {
             rmax,
             cost: CostFn::default(),
         }
+    }
+
+    /// Builds a spec from a raw `f64` radius, validating it (and `l > 0`)
+    /// instead of panicking — the entry point for the fallible `try_*`
+    /// query APIs.
+    pub fn try_new(keyword_nodes: Vec<Vec<NodeId>>, rmax: f64) -> Result<QuerySpec, QueryError> {
+        if keyword_nodes.is_empty() {
+            return Err(QueryError::NoKeywords);
+        }
+        validate_radius(rmax)?;
+        let rmax = Weight::try_new(rmax).ok_or(QueryError::InvalidRadius(rmax))?;
+        Ok(QuerySpec::new(keyword_nodes, rmax))
+    }
+
+    /// Validates this spec against a concrete graph: at least one keyword,
+    /// a finite non-negative radius, and every keyword node inside the
+    /// graph's id range. All `try_*` / `*_guarded` entry points call this
+    /// before doing any work.
+    pub fn validate_for(&self, graph: &Graph) -> Result<(), QueryError> {
+        if self.keyword_nodes.is_empty() {
+            return Err(QueryError::NoKeywords);
+        }
+        validate_radius(self.rmax.get())?;
+        validate_nodes(&self.keyword_nodes, graph)
     }
 
     /// Replaces the cost function used for ranking.
@@ -182,13 +204,36 @@ mod tests {
     }
 
     #[test]
+    fn try_new_validates_radius_and_keywords() {
+        assert!(matches!(
+            QuerySpec::try_new(vec![], 1.0),
+            Err(QueryError::NoKeywords)
+        ));
+        assert!(matches!(
+            QuerySpec::try_new(vec![vec![NodeId(0)]], f64::NAN),
+            Err(QueryError::InvalidRadius(r)) if r.is_nan()
+        ));
+        assert!(matches!(
+            QuerySpec::try_new(vec![vec![NodeId(0)]], -2.0),
+            Err(QueryError::InvalidRadius(_))
+        ));
+        assert!(matches!(
+            QuerySpec::try_new(vec![vec![NodeId(0)]], f64::INFINITY),
+            Err(QueryError::InvalidRadius(_))
+        ));
+        let ok = QuerySpec::try_new(vec![vec![NodeId(2), NodeId(0)]], 3.5).unwrap();
+        assert_eq!(ok.rmax, Weight::new(3.5));
+        assert_eq!(ok.keyword_nodes[0], vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
     fn cost_fn_combine() {
         let ws = [Weight::new(2.0), Weight::new(5.0), Weight::new(1.0)];
         assert_eq!(CostFn::SumDistances.combine(ws), Weight::new(8.0));
         assert_eq!(CostFn::MaxDistance.combine(ws), Weight::new(5.0));
         assert_eq!(CostFn::MaxDistance.combine([]), Weight::ZERO);
-        let spec = QuerySpec::new(vec![vec![NodeId(1)]], Weight::ZERO)
-            .with_cost(CostFn::MaxDistance);
+        let spec =
+            QuerySpec::new(vec![vec![NodeId(1)]], Weight::ZERO).with_cost(CostFn::MaxDistance);
         assert_eq!(spec.cost, CostFn::MaxDistance);
     }
 

@@ -61,10 +61,7 @@ fn same_keyword_twice_yields_diagonal_cores() {
 #[test]
 fn disconnected_components_enumerate_independently() {
     // Two disjoint 2-cliques, keywords on both sides.
-    let g = graph_from_edges(
-        4,
-        &[(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0)],
-    );
+    let g = graph_from_edges(4, &[(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0)]);
     let q = spec(&[&[0, 2], &[1, 3]], 2.0);
     let cores: Vec<Vec<u32>> = comm_k(&g, &q, 10)
         .into_iter()
@@ -119,7 +116,13 @@ fn very_large_l_on_small_graph() {
 fn baselines_respect_cost_fn() {
     let g = graph_from_edges(
         5,
-        &[(0, 1, 1.0), (0, 2, 5.0), (3, 1, 3.0), (3, 2, 3.0), (4, 0, 1.0)],
+        &[
+            (0, 1, 1.0),
+            (0, 2, 5.0),
+            (3, 1, 3.0),
+            (3, 2, 3.0),
+            (4, 0, 1.0),
+        ],
     );
     // Keywords at 1 and 2. Sum cost: center 0 sums 6, center 3 sums 6.
     // Max cost: center 3 (max 3) beats center 0 (max 5).
@@ -152,11 +155,16 @@ fn index_handles_keyword_with_no_nodes() {
     let g = graph_from_edges(2, &[(0, 1, 1.0)]);
     let idx = ProjectionIndex::build(
         &g,
-        [("present", [NodeId(0)].as_slice()), ("ghost", [].as_slice())],
+        [
+            ("present", [NodeId(0)].as_slice()),
+            ("ghost", [].as_slice()),
+        ],
         Weight::new(5.0),
     );
     assert_eq!(idx.nodes_of("ghost").len(), 0);
-    let pq = idx.project(&["present", "ghost"], Weight::new(5.0)).unwrap();
+    let pq = idx
+        .project(&["present", "ghost"], Weight::new(5.0))
+        .unwrap();
     assert!(pq.spec.has_empty_keyword());
     assert!(comm_all(&pq.projected.graph, &pq.spec).is_empty());
 }
@@ -249,7 +257,14 @@ fn community_iterator_count_is_stable_across_runs() {
     // Determinism: two runs over the same inputs yield the same sequence.
     let g = graph_from_edges(
         6,
-        &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (3, 4, 2.0), (4, 5, 1.0), (5, 0, 2.0)],
+        &[
+            (0, 1, 1.0),
+            (1, 2, 2.0),
+            (2, 3, 1.0),
+            (3, 4, 2.0),
+            (4, 5, 1.0),
+            (5, 0, 2.0),
+        ],
     );
     let q = spec(&[&[0, 3], &[1, 4], &[2, 5]], 9.0);
     let a: Vec<(Core, Weight)> = CommK::new(&g, &q).map(|c| (c.core, c.cost)).collect();

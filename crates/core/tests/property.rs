@@ -4,8 +4,9 @@
 
 use comm_core::naive::{naive_all_cores, naive_community_nodes};
 use comm_core::{
-    bu_all, bu_topk, comm_all, get_community, td_all, td_topk, CommK, Core, CostFn, LawlerK,
-    ProjectionIndex, QuerySpec,
+    bu_all, bu_topk, comm_all, comm_all_guarded, comm_k_guarded, get_community, td_all, td_topk,
+    CommK, Community, Core, CostFn, InterruptReason, LawlerK, Outcome, ProjectionIndex, QuerySpec,
+    RunGuard,
 };
 use comm_graph::{DijkstraEngine, Graph, GraphBuilder, NodeId, Weight};
 use proptest::prelude::*;
@@ -22,14 +23,9 @@ struct Scenario {
 fn scenario() -> impl Strategy<Value = Scenario> {
     (4usize..18, 1usize..4)
         .prop_flat_map(|(n, l)| {
-            let edges = proptest::collection::vec(
-                (0..n as u32, 0..n as u32, 1u32..6),
-                0..(n * 3),
-            );
-            let keywords = proptest::collection::vec(
-                proptest::collection::vec(0..n as u32, 1..4),
-                l..=l,
-            );
+            let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..6), 0..(n * 3));
+            let keywords =
+                proptest::collection::vec(proptest::collection::vec(0..n as u32, 1..4), l..=l);
             (Just(n), edges, keywords, 2u32..14)
         })
         .prop_map(|(n, edges, keyword_nodes, rmax)| Scenario {
@@ -59,6 +55,30 @@ fn sorted_cores(cores: impl IntoIterator<Item = Core>) -> Vec<Core> {
     let mut v: Vec<Core> = cores.into_iter().collect();
     v.sort();
     v
+}
+
+/// Structural invariants every emitted community must satisfy, on complete
+/// *and* partial (guard-interrupted) output: at least one center, strictly
+/// sorted role lists, and the core contained in the knodes.
+fn check_partial_invariants(
+    communities: &[Community],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    for c in communities {
+        prop_assert!(!c.centers.is_empty(), "community without a center");
+        prop_assert!(
+            c.centers.windows(2).all(|w| w[0] < w[1]),
+            "centers unsorted"
+        );
+        prop_assert!(c.knodes.windows(2).all(|w| w[0] < w[1]), "knodes unsorted");
+        prop_assert!(
+            c.path_nodes.windows(2).all(|w| w[0] < w[1]),
+            "path nodes unsorted"
+        );
+        for n in &c.core.0 {
+            prop_assert!(c.knodes.contains(n), "core node missing from knodes");
+        }
+    }
+    Ok(())
 }
 
 proptest! {
@@ -216,6 +236,54 @@ proptest! {
             .collect();
         projected.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
         prop_assert_eq!(projected, full);
+    }
+
+    /// A guarded COMM-all tripped at any fault-injection point emits an
+    /// exact prefix of the unguarded enumeration, and every partial
+    /// community still satisfies the structural invariants.
+    #[test]
+    fn guarded_comm_all_is_prefix_of_unguarded(s in scenario(), trip in 0u64..600) {
+        let (g, spec) = build(&s);
+        let full: Vec<(Core, Weight)> =
+            comm_all(&g, &spec).into_iter().map(|c| (c.core, c.cost)).collect();
+        let out = comm_all_guarded(&g, &spec, RunGuard::new().with_trip_after(trip)).unwrap();
+        let (partial, interrupted) = match out {
+            Outcome::Complete(v) => (v, false),
+            Outcome::Interrupted { reason, partial } => {
+                prop_assert_eq!(reason, InterruptReason::Injected);
+                (partial, true)
+            }
+        };
+        prop_assert!(partial.len() <= full.len());
+        for (got, want) in partial.iter().zip(&full) {
+            prop_assert_eq!(&got.core, &want.0, "guarded output diverged from prefix");
+            prop_assert_eq!(got.cost, want.1);
+        }
+        if !interrupted {
+            prop_assert_eq!(partial.len(), full.len(), "untripped run must be complete");
+        }
+        check_partial_invariants(&partial)?;
+    }
+
+    /// Same prefix guarantee for COMM-k, plus rank order: costs on the
+    /// partial output are non-decreasing.
+    #[test]
+    fn guarded_comm_k_is_ranked_prefix_of_unguarded(s in scenario(), trip in 0u64..600) {
+        let (g, spec) = build(&s);
+        let full: Vec<(Core, Weight)> =
+            CommK::new(&g, &spec).map(|c| (c.core, c.cost)).collect();
+        let out =
+            comm_k_guarded(&g, &spec, usize::MAX, RunGuard::new().with_trip_after(trip)).unwrap();
+        let partial = out.into_value();
+        prop_assert!(partial.len() <= full.len());
+        for (got, want) in partial.iter().zip(&full) {
+            prop_assert_eq!(&got.core, &want.0, "guarded output diverged from prefix");
+            prop_assert_eq!(got.cost, want.1);
+        }
+        for w in partial.windows(2) {
+            prop_assert!(w[0].cost <= w[1].cost, "partial ranking out of order");
+        }
+        check_partial_invariants(&partial)?;
     }
 
     /// Monotonicity: growing the radius can only add communities.

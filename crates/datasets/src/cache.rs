@@ -167,7 +167,10 @@ mod tests {
         save_bundle(&path, &ds.graph.graph, kws).unwrap();
         let b = load_bundle(&path).unwrap();
         assert_eq!(b.graph.node_count(), ds.graph.graph.node_count());
-        assert_eq!(b.keyword_nodes("database"), ds.graph.keyword_nodes("database"));
+        assert_eq!(
+            b.keyword_nodes("database"),
+            ds.graph.keyword_nodes("database")
+        );
         std::fs::remove_file(&path).ok();
     }
 }

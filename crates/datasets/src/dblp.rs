@@ -226,7 +226,10 @@ pub fn generate_dblp(config: &DblpConfig) -> GeneratedDataset {
     for a in 0..config.authors {
         db.insert(
             author_t,
-            &[Value::Int(a as i64), Value::Text(format!("author{a} surname{}", a % 997))],
+            &[
+                Value::Int(a as i64),
+                Value::Text(format!("author{a} surname{}", a % 997)),
+            ],
         )
         .expect("author insert");
     }

@@ -69,7 +69,14 @@ impl ImdbConfig {
 }
 
 const GENRES: [&str; 8] = [
-    "drama", "comedy", "action", "thriller", "romance", "horror", "documentary", "animation",
+    "drama",
+    "comedy",
+    "action",
+    "thriller",
+    "romance",
+    "horror",
+    "documentary",
+    "animation",
 ];
 const OCCUPATIONS: [&str; 6] = [
     "engineer", "artist", "student", "doctor", "writer", "farmer",
@@ -101,7 +108,15 @@ pub fn generate_imdb(config: &ImdbConfig) -> GeneratedDataset {
     let mut titles: Vec<String> = (0..config.movies).map(|_| filler_title(&mut rng)).collect();
     // Movie keyword placement is uniform: the rating graph is dense enough
     // that communities form without topical correlation.
-    plant_keywords(&mut titles, &[], 0.0, 0.0, total_tuples, &config.plant, config.seed);
+    plant_keywords(
+        &mut titles,
+        &[],
+        0.0,
+        0.0,
+        total_tuples,
+        &config.plant,
+        config.seed,
+    );
 
     let mut db = Database::new();
     let users_t = db.create_table(

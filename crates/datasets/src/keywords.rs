@@ -66,8 +66,8 @@ pub fn plant_keywords(
         let mut chosen_set: std::collections::HashSet<usize> =
             std::collections::HashSet::with_capacity(want);
         let push = |chosen: &mut Vec<usize>,
-                        chosen_set: &mut std::collections::HashSet<usize>,
-                        i: usize| {
+                    chosen_set: &mut std::collections::HashSet<usize>,
+                    i: usize| {
             if chosen_set.insert(i) {
                 chosen.push(i);
             }
@@ -121,10 +121,30 @@ pub fn plant_keywords(
 /// Filler vocabulary for synthetic titles — deliberately disjoint from
 /// every benchmark keyword in `workload`.
 pub const FILLER_WORDS: [&str; 24] = [
-    "toward", "analysis", "framework", "study", "novel", "efficient", "approach", "method",
-    "evaluation", "using", "design", "implementation", "technique", "results", "aspects",
-    "principles", "perspective", "survey", "revisited", "notes", "theory", "practice",
-    "advances", "foundations",
+    "toward",
+    "analysis",
+    "framework",
+    "study",
+    "novel",
+    "efficient",
+    "approach",
+    "method",
+    "evaluation",
+    "using",
+    "design",
+    "implementation",
+    "technique",
+    "results",
+    "aspects",
+    "principles",
+    "perspective",
+    "survey",
+    "revisited",
+    "notes",
+    "theory",
+    "practice",
+    "advances",
+    "foundations",
 ];
 
 /// Generates a filler title of 2–6 words.

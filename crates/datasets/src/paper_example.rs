@@ -48,7 +48,7 @@ pub fn fig4_graph() -> Graph {
 
 /// The reconstructed directed, weighted edge list of Fig. 4.
 pub const FIG4_EDGES: [(u32, u32, f64); 20] = [
-    (1, 2, 5.0),  // given in the paper
+    (1, 2, 5.0), // given in the paper
     (1, 3, 3.0),
     (1, 4, 6.0),
     (5, 2, 5.0),

@@ -130,6 +130,10 @@ mod tests {
         let sd = dataset_stats(&dblp, &[]);
         assert!(si.density > sd.density);
         // Paper: IMDB 4,000,836 / 1,010,132 ≈ 3.96 edges per node.
-        assert!((si.density - 3.96).abs() < 0.3, "imdb density {}", si.density);
+        assert!(
+            (si.density - 3.96).abs() < 0.3,
+            "imdb density {}",
+            si.density
+        );
     }
 }

@@ -178,7 +178,10 @@ mod tests {
         let specs = all_plant_specs(IMDB_KEYWORD_GROUPS);
         assert_eq!(
             specs.len(),
-            IMDB_KEYWORD_GROUPS.iter().map(|g| g.keywords.len()).sum::<usize>()
+            IMDB_KEYWORD_GROUPS
+                .iter()
+                .map(|g| g.keywords.len())
+                .sum::<usize>()
         );
     }
 

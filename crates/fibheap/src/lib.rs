@@ -239,7 +239,11 @@ impl<K: Ord, V> FibHeap<K, V> {
     /// Reads the payload of a live node.
     pub fn value(&self, r: NodeRef) -> Result<&V, HeapError> {
         self.check(r)?;
-        Ok(&self.nodes[r.slot as usize].data.as_ref().expect("live node").1)
+        Ok(&self.nodes[r.slot as usize]
+            .data
+            .as_ref()
+            .expect("live node")
+            .1)
     }
 
     /// Cuts `x` from its parent and moves it to the root ring.
@@ -542,7 +546,9 @@ mod tests {
         // Deterministic LCG so the test needs no rand dependency wiring here.
         let mut state = 0x1234_5678_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         let mut h = FibHeap::new();
@@ -562,7 +568,9 @@ mod tests {
         // Mirror operations against a simple sorted-vec reference model.
         let mut state = 0xDEAD_BEEF_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         let mut h = FibHeap::new();

@@ -162,7 +162,11 @@ impl Graph {
     /// Iterates the neighbors of `u` in the given direction, as
     /// `(neighbor, edge weight)` pairs sorted by neighbor id.
     #[inline]
-    pub fn neighbors(&self, u: NodeId, dir: Direction) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+    pub fn neighbors(
+        &self,
+        u: NodeId,
+        dir: Direction,
+    ) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
         match dir {
             Direction::Forward => self.fwd.neighbors(u),
             Direction::Reverse => self.rev.neighbors(u),
@@ -201,10 +205,7 @@ impl Graph {
         let run = &self.fwd.targets[lo..hi];
         let first = run.partition_point(|&t| t < v);
         let mut best: Option<Weight> = None;
-        for (t, &w) in run[first..]
-            .iter()
-            .zip(&self.fwd.weights[lo + first..hi])
-        {
+        for (t, &w) in run[first..].iter().zip(&self.fwd.weights[lo + first..hi]) {
             if *t != v {
                 break;
             }
@@ -549,11 +550,8 @@ mod tests {
         let mut b = GraphBuilder::new(3);
         b.add_edge(NodeId(0), NodeId(1), Weight::new(1.0));
         b.add_edge(NodeId(1), NodeId(2), Weight::new(1.0));
-        let g = b.build_with_node_weights(&[
-            Weight::new(5.0),
-            Weight::new(10.0),
-            Weight::new(20.0),
-        ]);
+        let g =
+            b.build_with_node_weights(&[Weight::new(5.0), Weight::new(10.0), Weight::new(20.0)]);
         assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(Weight::new(11.0)));
         let d = crate::dijkstra::shortest_distances(&g, Direction::Forward, NodeId(0));
         assert_eq!(d[2], Weight::new(32.0));

@@ -17,6 +17,7 @@
 //! beyond heap growth.
 
 use crate::csr::{Direction, Graph, NodeId};
+use crate::guard::{InterruptReason, RunGuard};
 use crate::weight::Weight;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -120,8 +121,28 @@ impl DijkstraEngine {
         dir: Direction,
         seeds: impl IntoIterator<Item = NodeId>,
         radius: Weight,
-        mut visit: F,
+        visit: F,
     ) -> usize {
+        self.run_guarded(graph, dir, seeds, radius, &RunGuard::unlimited(), visit)
+            .expect("unlimited guard never trips")
+    }
+
+    /// Like [`run`](Self::run), but consults `guard` once per settled node.
+    ///
+    /// On interruption the sweep stops before settling (or reporting) any
+    /// further node and returns the guard's reason; nodes already passed to
+    /// `visit` form a valid prefix of the unguarded settle order. Engine
+    /// scratch state is epoch-stamped, so an interrupted engine is safe to
+    /// reuse.
+    pub fn run_guarded<F: FnMut(Settled)>(
+        &mut self,
+        graph: &Graph,
+        dir: Direction,
+        seeds: impl IntoIterator<Item = NodeId>,
+        radius: Weight,
+        guard: &RunGuard,
+        mut visit: F,
+    ) -> Result<usize, InterruptReason> {
         self.ensure_capacity(graph.node_count());
         self.fresh();
         for seed in seeds {
@@ -135,6 +156,7 @@ impl DijkstraEngine {
             if self.settled[i] || d > self.dist[i] {
                 continue; // lazily deleted entry
             }
+            guard.note_settled(1)?;
             self.settled[i] = true;
             settled_count += 1;
             let source = NodeId(self.source[i]);
@@ -151,7 +173,7 @@ impl DijkstraEngine {
                 }
             }
         }
-        settled_count
+        Ok(settled_count)
     }
 
     /// Like [`run`](Self::run) but materializes per-node `(dist, src)`
@@ -287,7 +309,13 @@ mod tests {
     fn settle_order_is_nondecreasing() {
         let g = graph_from_edges(
             5,
-            &[(0, 1, 3.0), (0, 2, 1.0), (2, 1, 1.0), (1, 3, 1.0), (2, 4, 10.0)],
+            &[
+                (0, 1, 3.0),
+                (0, 2, 1.0),
+                (2, 1, 1.0),
+                (1, 3, 1.0),
+                (2, 4, 10.0),
+            ],
         );
         let mut eng = DijkstraEngine::new(5);
         let mut last = Weight::ZERO;
@@ -312,7 +340,9 @@ mod tests {
         let mut edges = Vec::new();
         let mut state = 42u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for _ in 0..200 {
@@ -341,8 +371,66 @@ mod tests {
     fn run_returns_settle_count() {
         let g = line();
         let mut eng = DijkstraEngine::new(4);
-        let count = eng.run(&g, Direction::Forward, [NodeId(0)], Weight::new(3.0), |_| {});
+        let count = eng.run(
+            &g,
+            Direction::Forward,
+            [NodeId(0)],
+            Weight::new(3.0),
+            |_| {},
+        );
         assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn guarded_run_matches_unguarded_when_untripped() {
+        let g = line();
+        let mut eng = DijkstraEngine::new(4);
+        let mut a = Vec::new();
+        eng.run(&g, Direction::Forward, [NodeId(0)], Weight::INFINITY, |s| {
+            a.push(s)
+        });
+        let mut b = Vec::new();
+        let n = eng
+            .run_guarded(
+                &g,
+                Direction::Forward,
+                [NodeId(0)],
+                Weight::INFINITY,
+                &RunGuard::new(),
+                |s| b.push(s),
+            )
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(n, a.len());
+    }
+
+    #[test]
+    fn guarded_run_stops_at_settled_budget_with_prefix_output() {
+        let g = line();
+        let mut eng = DijkstraEngine::new(4);
+        let mut full = Vec::new();
+        eng.run(&g, Direction::Forward, [NodeId(0)], Weight::INFINITY, |s| {
+            full.push(s)
+        });
+        for budget in 0..full.len() as u64 {
+            let guard = RunGuard::new().with_settled_budget(budget);
+            let mut part = Vec::new();
+            let err = eng
+                .run_guarded(
+                    &g,
+                    Direction::Forward,
+                    [NodeId(0)],
+                    Weight::INFINITY,
+                    &guard,
+                    |s| part.push(s),
+                )
+                .unwrap_err();
+            assert_eq!(err, InterruptReason::SettledBudgetExhausted);
+            assert_eq!(part, full[..budget as usize]);
+            // The engine stays reusable after an interrupted sweep.
+            let d = eng.distances(&g, Direction::Forward, NodeId(0));
+            assert_eq!(d[3], Weight::new(7.0));
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::csr::{Direction, Graph, NodeId};
 use crate::dijkstra::Settled;
+use crate::guard::{InterruptReason, RunGuard};
 use crate::weight::Weight;
 use comm_fibheap::{FibHeap, NodeRef};
 
@@ -74,8 +75,24 @@ impl FibDijkstraEngine {
         dir: Direction,
         seeds: impl IntoIterator<Item = NodeId>,
         radius: Weight,
-        mut visit: F,
+        visit: F,
     ) -> usize {
+        self.run_guarded(graph, dir, seeds, radius, &RunGuard::unlimited(), visit)
+            .expect("unlimited guard never trips")
+    }
+
+    /// Like [`run`](Self::run), but consults `guard` once per settled node;
+    /// semantics match
+    /// [`DijkstraEngine::run_guarded`](crate::DijkstraEngine::run_guarded).
+    pub fn run_guarded<F: FnMut(Settled)>(
+        &mut self,
+        graph: &Graph,
+        dir: Direction,
+        seeds: impl IntoIterator<Item = NodeId>,
+        radius: Weight,
+        guard: &RunGuard,
+        mut visit: F,
+    ) -> Result<usize, InterruptReason> {
         self.ensure_capacity(graph.node_count());
         self.fresh();
         for seed in seeds {
@@ -93,6 +110,7 @@ impl FibDijkstraEngine {
         while let Some(((d, u), _)) = self.heap.pop_min() {
             let ui = u.index();
             self.handle[ui] = None;
+            guard.note_settled(1)?;
             self.settled[ui] = true;
             count += 1;
             let source = NodeId(self.source[ui]);
@@ -126,7 +144,7 @@ impl FibDijkstraEngine {
                 }
             }
         }
-        count
+        Ok(count)
     }
 
     /// Single-source distances to every node (untruncated).
@@ -172,13 +190,21 @@ mod tests {
             let mut fib = FibDijkstraEngine::new(60);
             for radius in [Weight::new(4.0), Weight::new(12.0), Weight::INFINITY] {
                 let mut a = Vec::new();
-                bin.run(&g, Direction::Forward, [NodeId(0), NodeId(7)], radius, |s| {
-                    a.push(s)
-                });
+                bin.run(
+                    &g,
+                    Direction::Forward,
+                    [NodeId(0), NodeId(7)],
+                    radius,
+                    |s| a.push(s),
+                );
                 let mut b = Vec::new();
-                fib.run(&g, Direction::Forward, [NodeId(0), NodeId(7)], radius, |s| {
-                    b.push(s)
-                });
+                fib.run(
+                    &g,
+                    Direction::Forward,
+                    [NodeId(0), NodeId(7)],
+                    radius,
+                    |s| b.push(s),
+                );
                 assert_eq!(a, b, "seed {seed}, radius {radius}");
             }
         }
@@ -202,6 +228,38 @@ mod tests {
         let d2 = fib.distances(&g, Direction::Forward, NodeId(2));
         assert_eq!(d1[2], Weight::new(2.0));
         assert!(!d2[0].is_finite());
+    }
+
+    #[test]
+    fn guarded_run_prefix_matches_binary_engine() {
+        use crate::guard::{InterruptReason, RunGuard};
+        let g = random_graph(30, 120, 7);
+        let mut bin = DijkstraEngine::new(30);
+        let mut full = Vec::new();
+        bin.run(&g, Direction::Forward, [NodeId(0)], Weight::INFINITY, |s| {
+            full.push(s)
+        });
+        let mut fib = FibDijkstraEngine::new(30);
+        for budget in 0..full.len() as u64 {
+            let guard = RunGuard::new().with_settled_budget(budget);
+            let mut part = Vec::new();
+            let err = fib
+                .run_guarded(
+                    &g,
+                    Direction::Forward,
+                    [NodeId(0)],
+                    Weight::INFINITY,
+                    &guard,
+                    |s| part.push(s),
+                )
+                .unwrap_err();
+            assert_eq!(err, InterruptReason::SettledBudgetExhausted);
+            assert_eq!(part, full[..budget as usize]);
+        }
+        // Interrupted engine is still clean for the next run.
+        let a = bin.distances(&g, Direction::Forward, NodeId(0));
+        let b = fib.distances(&g, Direction::Forward, NodeId(0));
+        assert_eq!(a, b);
     }
 
     #[test]

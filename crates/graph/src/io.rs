@@ -14,6 +14,14 @@ use std::path::Path;
 
 const MAGIC: [u8; 4] = *b"CGPH";
 const VERSION: u32 = 1;
+/// Header bytes: magic (4) + version (4) + n (8) + m (8).
+const HEADER_BYTES: u64 = 24;
+/// Bytes per edge record: u (4) + v (4) + w (8).
+const EDGE_BYTES: u64 = 16;
+/// Upper bound on speculative preallocation from header counts. Larger
+/// (legitimate) inputs still load fine — collections just grow as records
+/// actually arrive instead of trusting the header up front.
+const PREALLOC_CAP: usize = 1 << 20;
 
 /// Writes `graph` to `w` in the binary format.
 pub fn write_graph<W: Write>(graph: &Graph, w: &mut W) -> io::Result<()> {
@@ -40,7 +48,17 @@ fn bad(msg: &str) -> io::Error {
 }
 
 /// Reads a graph previously written by [`write_graph`].
+///
+/// Header counts are treated as *claims*, not facts: `n` is range-checked
+/// against the `u32` node-id space, and every edge record is read and
+/// validated (with preallocation capped) **before** any `O(n)`/`O(m)`
+/// structure is built, so a corrupted or truncated header cannot trigger a
+/// multi-GB allocation.
 pub fn read_graph<R: Read>(r: &mut R) -> io::Result<Graph> {
+    read_graph_limited(r, None)
+}
+
+fn read_graph_limited<R: Read>(r: &mut R, stream_len: Option<u64>) -> io::Result<Graph> {
     if read_exact::<4, _>(r)? != MAGIC {
         return Err(bad("not a CGPH graph file"));
     }
@@ -48,9 +66,26 @@ pub fn read_graph<R: Read>(r: &mut R) -> io::Result<Graph> {
     if version != VERSION {
         return Err(bad("unsupported CGPH version"));
     }
-    let n = u64::from_le_bytes(read_exact::<8, _>(r)?) as usize;
-    let m = u64::from_le_bytes(read_exact::<8, _>(r)?) as usize;
-    let mut b = GraphBuilder::new(n);
+    let n64 = u64::from_le_bytes(read_exact::<8, _>(r)?);
+    let m64 = u64::from_le_bytes(read_exact::<8, _>(r)?);
+    if n64 > u64::from(u32::MAX) + 1 {
+        return Err(bad("node count exceeds the u32 node-id space"));
+    }
+    if let Some(len) = stream_len {
+        // Where the stream length is knowable (files), the header's edge
+        // count must agree with it exactly.
+        let expected = m64
+            .checked_mul(EDGE_BYTES)
+            .and_then(|body| body.checked_add(HEADER_BYTES));
+        if expected != Some(len) {
+            return Err(bad("edge count disagrees with stream length"));
+        }
+    }
+    let n = n64 as usize;
+    let m = m64 as usize;
+    // Read and validate every record before building the graph; capacity
+    // grows with the bytes actually read, never with the claimed count.
+    let mut edges = Vec::with_capacity(m.min(PREALLOC_CAP));
     for _ in 0..m {
         let u = u32::from_le_bytes(read_exact::<4, _>(r)?);
         let v = u32::from_le_bytes(read_exact::<4, _>(r)?);
@@ -61,7 +96,11 @@ pub fn read_graph<R: Read>(r: &mut R) -> io::Result<Graph> {
         if !(w.is_finite() && w >= 0.0) {
             return Err(bad("invalid edge weight"));
         }
-        b.add_edge(NodeId(u), NodeId(v), Weight::new(w));
+        edges.push((NodeId(u), NodeId(v), Weight::new(w)));
+    }
+    let mut b = GraphBuilder::new(n);
+    for (u, v, w) in edges {
+        b.add_edge(u, v, w);
     }
     Ok(b.build())
 }
@@ -73,9 +112,12 @@ pub fn save_graph(graph: &Graph, path: impl AsRef<Path>) -> io::Result<()> {
     w.flush()
 }
 
-/// Loads a graph from a file (buffered).
+/// Loads a graph from a file (buffered). The header's edge count is
+/// checked against the file's actual length before any record is parsed.
 pub fn load_graph(path: impl AsRef<Path>) -> io::Result<Graph> {
-    read_graph(&mut BufReader::new(std::fs::File::open(path)?))
+    let file = std::fs::File::open(path)?;
+    let len = file.metadata()?.len();
+    read_graph_limited(&mut BufReader::new(file), Some(len))
 }
 
 #[cfg(test)]
@@ -86,7 +128,13 @@ mod tests {
     fn sample() -> Graph {
         graph_from_edges(
             5,
-            &[(0, 1, 1.5), (1, 2, 0.0), (4, 0, 2.25), (2, 2, 3.0), (0, 1, 7.0)],
+            &[
+                (0, 1, 1.5),
+                (1, 2, 0.0),
+                (4, 0, 2.25),
+                (2, 2, 3.0),
+                (0, 1, 7.0),
+            ],
         )
     }
 
@@ -98,10 +146,7 @@ mod tests {
         let h = read_graph(&mut buf.as_slice()).unwrap();
         assert_eq!(h.node_count(), g.node_count());
         assert_eq!(h.edge_count(), g.edge_count());
-        assert_eq!(
-            g.edges().collect::<Vec<_>>(),
-            h.edges().collect::<Vec<_>>()
-        );
+        assert_eq!(g.edges().collect::<Vec<_>>(), h.edges().collect::<Vec<_>>());
         // Reverse adjacency rebuilt identically.
         for u in g.nodes() {
             assert_eq!(
@@ -162,6 +207,58 @@ mod tests {
         buf.extend_from_slice(&1u32.to_le_bytes());
         buf.extend_from_slice(&f64::NAN.to_le_bytes());
         assert!(read_graph(&mut buf.as_slice()).is_err());
+    }
+
+    fn header(n: u64, m: u64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"CGPH");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&n.to_le_bytes());
+        buf.extend_from_slice(&m.to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn corrupted_edge_count_fails_without_huge_allocation() {
+        // Header claims ~1.1e18 edges but carries a single record; the
+        // reader must fail at the truncation, not preallocate for m.
+        let mut buf = header(2, u64::MAX / EDGE_BYTES);
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1.0f64.to_le_bytes());
+        let err = read_graph(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn corrupted_node_count_fails_before_preallocation() {
+        // Header claims more nodes than the u32 id space can address; the
+        // reader must reject it before any O(n) structure exists.
+        let buf = header(u64::MAX, 0);
+        let err = read_graph(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn load_graph_rejects_edge_count_disagreeing_with_file_length() {
+        let dir = std::env::temp_dir().join("comm_graph_io_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.cgph");
+        let g = sample();
+        save_graph(&g, &path).unwrap();
+        // Inflate the header's m without appending records.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let m = (g.edge_count() as u64) + 7;
+        bytes[16..24].copy_from_slice(&m.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_graph(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // And a truncated body is caught by the same length check.
+        bytes[16..24].copy_from_slice(&(g.edge_count() as u64).to_le_bytes());
+        bytes.truncate(bytes.len() - 5);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_graph(&path).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   `w_e((u,v)) = log2(1 + N_in(v))`);
 //! * [`DijkstraEngine`]: reusable radius-bounded multi-source Dijkstra, the
 //!   workhorse behind `Neighbor()`, `GetCommunity()` and `GraphProjection`;
+//! * [`RunGuard`]: cooperative execution governor (cancellation, deadlines,
+//!   work/memory budgets) threaded through every sweep and enumeration;
 //! * [`InducedGraph`]: induced-subgraph extraction with id mapping;
 //! * [`mod@reference`]: brute-force oracles for tests.
 //!
@@ -28,6 +30,7 @@
 mod csr;
 mod dijkstra;
 mod dijkstra_fib;
+pub mod guard;
 pub mod io;
 pub mod reference;
 mod weight;
@@ -35,4 +38,5 @@ mod weight;
 pub use csr::{graph_from_edges, Direction, Graph, GraphBuilder, InducedGraph, NodeId};
 pub use dijkstra::{shortest_distances, DijkstraEngine, Settled};
 pub use dijkstra_fib::FibDijkstraEngine;
+pub use guard::{InterruptReason, Outcome, RunGuard};
 pub use weight::Weight;

@@ -29,8 +29,20 @@ impl Weight {
     /// silently corrupt heap ordering, so both are rejected eagerly.
     #[inline]
     pub fn new(w: f64) -> Weight {
-        assert!(w >= 0.0, "edge weights must be non-negative and not NaN, got {w}");
-        Weight(w)
+        Weight::try_new(w)
+            .unwrap_or_else(|| panic!("edge weights must be non-negative and not NaN, got {w}"))
+    }
+
+    /// Creates a weight, returning `None` on NaN or negative input instead
+    /// of panicking — the validation hook behind the fallible `try_*`
+    /// query APIs.
+    #[inline]
+    pub fn try_new(w: f64) -> Option<Weight> {
+        if w >= 0.0 {
+            Some(Weight(w))
+        } else {
+            None
+        }
     }
 
     /// The raw `f64` value.
@@ -43,12 +55,6 @@ impl Weight {
     #[inline]
     pub fn is_finite(self) -> bool {
         self.0.is_finite()
-    }
-
-    /// Saturating-at-infinity addition of two weights.
-    #[inline]
-    pub fn saturating_add(self, rhs: Weight) -> Weight {
-        Weight(self.0 + rhs.0)
     }
 }
 
@@ -136,6 +142,15 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn nan_rejected() {
         let _ = Weight::new(f64::NAN);
+    }
+
+    #[test]
+    fn try_new_rejects_without_panicking() {
+        assert_eq!(Weight::try_new(2.5), Some(Weight::new(2.5)));
+        assert_eq!(Weight::try_new(0.0), Some(Weight::ZERO));
+        assert_eq!(Weight::try_new(f64::INFINITY), Some(Weight::INFINITY));
+        assert_eq!(Weight::try_new(-1.0), None);
+        assert_eq!(Weight::try_new(f64::NAN), None);
     }
 
     #[test]

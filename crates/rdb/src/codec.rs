@@ -114,11 +114,7 @@ mod tests {
 
     #[test]
     fn decode_single_cell() {
-        let vals = vec![
-            Value::Int(1),
-            Value::Text("skip me".into()),
-            Value::Int(99),
-        ];
+        let vals = vec![Value::Int(1), Value::Text("skip me".into()), Value::Int(99)];
         let mut buf = BytesMut::new();
         encode_row(&vals, &mut buf);
         assert_eq!(decode_cell(&buf, 0), Value::Int(1));

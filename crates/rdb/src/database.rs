@@ -206,7 +206,9 @@ mod tests {
     fn dangling_fk_rejected() {
         let mut db = Database::new();
         let (_, _, write, _) = dblp_schema(&mut db);
-        let err = db.insert(write, &[Value::Int(7), Value::Int(7)]).unwrap_err();
+        let err = db
+            .insert(write, &[Value::Int(7), Value::Int(7)])
+            .unwrap_err();
         assert!(matches!(err, RdbError::ForeignKeyViolation { key: 7, .. }));
     }
 
@@ -214,7 +216,8 @@ mod tests {
     fn null_fk_allowed() {
         let mut db = Database::new();
         let (author, _, write, _) = dblp_schema(&mut db);
-        db.insert(author, &[Value::Int(1), Value::from("A")]).unwrap();
+        db.insert(author, &[Value::Int(1), Value::from("A")])
+            .unwrap();
         let w = db.insert(write, &[Value::Int(1), Value::Null]).unwrap();
         assert_eq!(db.resolve_fk(w, 1), None);
     }

@@ -63,7 +63,10 @@ impl fmt::Display for RdbError {
                 table,
                 column,
                 index,
-            } => write!(f, "table {table}: cell {index} does not match column {column}"),
+            } => write!(
+                f,
+                "table {table}: cell {index} does not match column {column}"
+            ),
             RdbError::NullPrimaryKey { table } => {
                 write!(f, "table {table}: primary key may not be NULL")
             }

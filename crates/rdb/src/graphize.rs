@@ -211,13 +211,16 @@ mod tests {
             .with_foreign_key("Pid2", paper),
         );
         for (aid, name) in [(1, "John Smith"), (2, "Jim Smith"), (3, "Kate Green")] {
-            db.insert(author, &[Value::Int(aid), Value::from(name)]).unwrap();
+            db.insert(author, &[Value::Int(aid), Value::from(name)])
+                .unwrap();
         }
         for (pid, title) in [(1, "paper1"), (2, "paper2")] {
-            db.insert(paper, &[Value::Int(pid), Value::from(title)]).unwrap();
+            db.insert(paper, &[Value::Int(pid), Value::from(title)])
+                .unwrap();
         }
         for (aid, pid) in [(1, 1), (3, 1), (3, 2), (1, 2), (2, 2)] {
-            db.insert(write, &[Value::Int(aid), Value::Int(pid)]).unwrap();
+            db.insert(write, &[Value::Int(aid), Value::Int(pid)])
+                .unwrap();
         }
         db.insert(cite, &[Value::Int(1), Value::Int(2)]).unwrap();
         db

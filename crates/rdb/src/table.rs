@@ -178,7 +178,14 @@ mod tests {
     fn arity_checked() {
         let mut t = authors();
         let err = t.insert_unchecked_fk(&[Value::Int(1)]).unwrap_err();
-        assert!(matches!(err, RdbError::ArityMismatch { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            RdbError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -110,10 +110,16 @@ mod tests {
             )
             .with_primary_key("Pid"),
         );
-        db.insert(t, &[Value::Int(1), Value::from("Keyword Search in Databases")])
-            .unwrap();
-        db.insert(t, &[Value::Int(2), Value::from("Graph search and search trees")])
-            .unwrap();
+        db.insert(
+            t,
+            &[Value::Int(1), Value::from("Keyword Search in Databases")],
+        )
+        .unwrap();
+        db.insert(
+            t,
+            &[Value::Int(2), Value::from("Graph search and search trees")],
+        )
+        .unwrap();
         db.insert(t, &[Value::Int(3), Value::from("Community detection")])
             .unwrap();
         db

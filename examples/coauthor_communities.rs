@@ -90,11 +90,7 @@ fn main() {
             .iter()
             .map(|&v| describe(pq.projected.to_original(v)))
             .collect();
-        println!(
-            "  {} centers: {}",
-            c.centers.len(),
-            centers.join(", ")
-        );
+        println!("  {} centers: {}", c.centers.len(), centers.join(", "));
         println!(
             "  community subgraph: {} nodes / {} edges\n",
             c.node_count(),

@@ -35,7 +35,10 @@ fn main() {
 
     // One persistent enumerator serves every "next page" request.
     let mut enumerator = CommK::new(g, &spec);
-    println!("{:<8} {:<22} {:<24}", "page", "PDk (resume)", "BUk (recompute from scratch)");
+    println!(
+        "{:<8} {:<22} {:<24}",
+        "page", "PDk (resume)", "BUk (recompute from scratch)"
+    );
     for p in 1..=pages {
         let t0 = Instant::now();
         let got: Vec<_> = enumerator.by_ref().take(page).collect();

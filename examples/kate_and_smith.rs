@@ -62,10 +62,13 @@ fn main() {
     );
 
     for (aid, name) in [(1, "John Smith"), (2, "Jim Smith"), (3, "Kate Green")] {
-        db.insert(author, &[Value::Int(aid), Value::from(name)]).unwrap();
+        db.insert(author, &[Value::Int(aid), Value::from(name)])
+            .unwrap();
     }
-    db.insert(paper, &[Value::Int(1), Value::from("paper1")]).unwrap();
-    db.insert(paper, &[Value::Int(2), Value::from("paper2")]).unwrap();
+    db.insert(paper, &[Value::Int(1), Value::from("paper1")])
+        .unwrap();
+    db.insert(paper, &[Value::Int(2), Value::from("paper2")])
+        .unwrap();
     // Author order is recorded in Pos (1 = first author, …).
     for (aid, pid, pos) in [(1, 1, 1), (3, 1, 2), (3, 2, 1), (1, 2, 2), (2, 2, 3)] {
         db.insert(write, &[Value::Int(aid), Value::Int(pid), Value::Int(pos)])

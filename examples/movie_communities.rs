@@ -51,9 +51,16 @@ fn main() {
     let avg_centers: f64 =
         top.iter().map(|c| c.centers.len() as f64).sum::<f64>() / top.len().max(1) as f64;
     println!("top-{k} communities ({t_pd:?} with PDk):");
-    println!("  cost range: {:.2} … {:.2}", top.first().map(|c| c.cost.get()).unwrap_or(0.0), top.last().map(|c| c.cost.get()).unwrap_or(0.0));
+    println!(
+        "  cost range: {:.2} … {:.2}",
+        top.first().map(|c| c.cost.get()).unwrap_or(0.0),
+        top.last().map(|c| c.cost.get()).unwrap_or(0.0)
+    );
     println!("  average centers per community: {avg_centers:.1}");
-    let max_c = top.iter().max_by_key(|c| c.centers.len()).expect("non-empty");
+    let max_c = top
+        .iter()
+        .max_by_key(|c| c.centers.len())
+        .expect("non-empty");
     println!(
         "  widest community: {} centers, {} total nodes — a connected tree would show 1 path\n",
         max_c.centers.len(),
@@ -68,9 +75,7 @@ fn main() {
     let td = td_topk(g, &spec, k, None);
     let t_td = t0.elapsed();
     println!("engine comparison for the identical top-{k}:");
-    println!(
-        "  PDk (polynomial delay): {t_pd:?}  — explores only what the ranking needs"
-    );
+    println!("  PDk (polynomial delay): {t_pd:?}  — explores only what the ranking needs");
     println!(
         "  BUk (bottom-up):        {t_bu:?}  — {} candidate cores generated",
         bu.stats.candidates

@@ -24,7 +24,10 @@ fn main() {
     let spec = QuerySpec::new(fig4_keyword_nodes(), Weight::new(FIG4_RMAX));
     println!("3-keyword query {{a, b, c}} with Rmax = {FIG4_RMAX}\n");
 
-    println!("{:<6} {:<18} {:<6} {:<14} {:<10}", "rank", "core [a,b,c]", "cost", "centers", "path nodes");
+    println!(
+        "{:<6} {:<18} {:<6} {:<14} {:<10}",
+        "rank", "core [a,b,c]", "cost", "centers", "path nodes"
+    );
     for (rank, community) in CommK::new(&graph, &spec).enumerate() {
         println!(
             "{:<6} {:<18} {:<6} {:<14} {:<10}",
@@ -37,7 +40,9 @@ fn main() {
     }
 
     // A community is an induced subgraph; inspect the top one.
-    let top = CommK::new(&graph, &spec).next().expect("five communities exist");
+    let top = CommK::new(&graph, &spec)
+        .next()
+        .expect("five communities exist");
     println!(
         "\ntop community: {} nodes, {} edges, knodes {:?}",
         top.node_count(),
