@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI gate: build, test, format, lint. Run locally before pushing;
-# .github/workflows/ci.yml runs the same sequence.
+# CI gate: build, test, format, lint, repo-specific static analysis. Run
+# locally before pushing; .github/workflows/ci.yml runs the same sequence
+# plus the hardening lane (Miri, cargo-deny) with the tools installed.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -10,10 +11,37 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+# --release so debug_assertions are off and the validators run purely via
+# the feature gate (the debug profile exercises them for free above).
+echo "==> cargo test (verify feature: deep structural validators)"
+cargo test -q --workspace --release --features verify
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> xtask self-tests"
+cargo test -q --release --manifest-path xtask/Cargo.toml
+
+echo "==> cargo xtask lint"
+cargo run --quiet --release --manifest-path xtask/Cargo.toml -- lint
+
+# Hardening lane: skipped gracefully where the tools are absent; the
+# GitHub workflow installs and runs both unconditionally.
+echo "==> cargo deny"
+if command -v cargo-deny >/dev/null 2>&1; then
+    cargo deny check
+else
+    echo "    cargo-deny not installed; skipped (CI hardening lane runs it)"
+fi
+
+echo "==> miri (fibheap + graph unit tests)"
+if cargo miri --version >/dev/null 2>&1; then
+    MIRIFLAGS="-Zmiri-strict-provenance" cargo miri test -p comm-fibheap -p comm-graph --lib
+else
+    echo "    miri not installed; skipped (CI hardening lane runs it)"
+fi
 
 echo "==> ci OK"

@@ -196,6 +196,7 @@ fn bu_all_impl(
             if pool.insert(core.clone()) {
                 match get_community_guarded(graph, &mut engine, &core, spec.rmax, spec.cost, guard)
                 {
+                    // xtask-allow: no_panics — BestCore only returns cores certified by a center
                     Ok(c) => communities.push(c.expect("center u certifies the core")),
                     Err(reason) => {
                         trip = Some(reason);
@@ -330,6 +331,7 @@ fn bu_topk_impl(
     let mut communities: Vec<Community> = Vec::with_capacity(ranked.len());
     for (core, _) in ranked {
         match get_community_guarded(graph, &mut engine, &core, spec.rmax, spec.cost, guard) {
+            // xtask-allow: no_panics — BestCore only returns cores certified by a center
             Ok(c) => communities.push(c.expect("core has a center")),
             Err(reason) => {
                 stats.completed = false;
@@ -369,6 +371,7 @@ fn keyword_membership(spec: &QuerySpec) -> HashMap<NodeId, Vec<u8>> {
     let mut m: HashMap<NodeId, Vec<u8>> = HashMap::new();
     for (i, v_i) in spec.keyword_nodes.iter().enumerate() {
         for &v in v_i {
+            // xtask-allow: narrowing_cast — keyword positions are bounded by l, a handful per query
             m.entry(v).or_default().push(i as u8);
         }
     }
@@ -436,6 +439,7 @@ fn td_all_impl(
             if pool.insert(core.clone()) {
                 match get_community_guarded(graph, &mut engine, &core, spec.rmax, spec.cost, guard)
                 {
+                    // xtask-allow: no_panics — BestCore only returns cores certified by a center
                     Ok(c) => communities.push(c.expect("center u certifies the core")),
                     Err(reason) => {
                         trip = Some(reason);
@@ -562,6 +566,7 @@ fn td_topk_impl(
     let mut communities: Vec<Community> = Vec::with_capacity(ranked.len());
     for (core, _) in ranked {
         match get_community_guarded(graph, &mut engine, &core, spec.rmax, spec.cost, guard) {
+            // xtask-allow: no_panics — BestCore only returns cores certified by a center
             Ok(c) => communities.push(c.expect("core has a center")),
             Err(reason) => {
                 stats.completed = false;

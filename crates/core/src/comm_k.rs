@@ -26,6 +26,7 @@ use crate::get_community::get_community_guarded;
 use crate::neighbor::NeighborSets;
 use crate::types::{Community, Core, CostFn, QuerySpec};
 use comm_fibheap::FibHeap;
+use comm_graph::weight::index_to_u32;
 use comm_graph::{DijkstraEngine, Graph, InterruptReason, NodeId, Outcome, RunGuard, Weight};
 use std::collections::BTreeSet;
 
@@ -174,7 +175,7 @@ impl<'g> CommK<'g> {
     }
 
     fn enheap(&mut self, tuple: CanTuple) {
-        let idx = self.can_list.len() as u32;
+        let idx = index_to_u32(self.can_list.len());
         let key = (tuple.cost, idx);
         self.can_list.push(tuple);
         self.heap.push(key, idx);
@@ -284,6 +285,7 @@ impl<'g> Iterator for CommK<'g> {
             self.cost_fn,
             &self.guard,
         ) {
+            // xtask-allow: no_panics — BestCore only returns cores certified by a center
             Ok(c) => c.expect("a core returned by BestCore always has a center"),
             Err(reason) => {
                 self.trip(reason);

@@ -16,6 +16,7 @@
 
 use crate::error::{validate_radius, QueryError};
 use crate::types::{Community, Core, CostFn};
+use comm_graph::weight::index_to_u32;
 use comm_graph::{DijkstraEngine, Direction, Graph, InterruptReason, NodeId, RunGuard, Weight};
 
 /// Materializes the community uniquely determined by `core`, costing it
@@ -42,6 +43,7 @@ pub fn get_community_with(
     cost_fn: CostFn,
 ) -> Option<Community> {
     get_community_guarded(graph, engine, core, rmax, cost_fn, &RunGuard::unlimited())
+        // xtask-allow: no_panics — an unlimited guard can never interrupt the sweep
         .expect("unlimited guard never trips")
 }
 
@@ -111,7 +113,7 @@ pub fn get_community_guarded(
     let mut cost = Weight::INFINITY;
     for u in 0..n {
         if count[u] == l {
-            centers.push(NodeId(u as u32));
+            centers.push(NodeId(index_to_u32(u)));
             let s = match cost_fn {
                 CostFn::SumDistances => Weight::new(sum[u]),
                 CostFn::MaxDistance => maxd[u],

@@ -20,6 +20,7 @@ use crate::get_community::get_community_guarded;
 use crate::neighbor::NeighborSets;
 use crate::types::{Community, Core, CostFn, QuerySpec};
 use comm_fibheap::FibHeap;
+use comm_graph::weight::index_to_u32;
 use comm_graph::{DijkstraEngine, Graph, InterruptReason, NodeId, RunGuard, Weight};
 use std::collections::BTreeSet;
 
@@ -156,7 +157,7 @@ impl<'g> LawlerK<'g> {
     }
 
     fn enheap(&mut self, core: Core, cost: Weight, pos: usize, prev: Option<u32>) {
-        let idx = self.can_list.len() as u32;
+        let idx = index_to_u32(self.can_list.len());
         self.can_list.push(CanTuple { core, pos, prev });
         self.heap.push((cost, idx), idx);
     }
@@ -229,6 +230,7 @@ impl<'g> Iterator for LawlerK<'g> {
             self.cost_fn,
             &self.guard,
         ) {
+            // xtask-allow: no_panics — BestCore only returns cores certified by a center
             Ok(c) => c.expect("a core returned by BestCore always has a center"),
             Err(reason) => {
                 self.trip(reason);

@@ -55,6 +55,7 @@ mod neighbor;
 mod projection;
 pub mod trees;
 mod types;
+pub mod verify;
 
 pub use baselines::{
     bu_all, bu_all_guarded, bu_topk, bu_topk_guarded, td_all, td_all_guarded, td_topk,
@@ -70,6 +71,9 @@ pub use lawler::LawlerK;
 pub use neighbor::{BestCore, NeighborSets};
 pub use projection::{ProjectedQuery, ProjectionIndex};
 pub use types::{Community, Core, CostFn, QuerySpec};
+pub use verify::{
+    check_community, check_enumeration, check_ranking, check_topk_prefix, CertificationError,
+};
 
 // Re-export the guard vocabulary so downstream users need only this crate.
 pub use comm_graph::{InterruptReason, Outcome, RunGuard};

@@ -1,3 +1,4 @@
+// xtask-allow-file: guard_coverage — brute-force oracles exist to cross-check the real engines in tests
 //! The naive nested-loop enumerator of Sec. III: check every combination of
 //! `V_1 × … × V_l` (`O(n^l)`), keeping those that admit a center.
 //!
@@ -7,6 +8,7 @@
 //! legitimate (terrible) baseline in its own right.
 
 use crate::types::{Core, QuerySpec};
+use comm_graph::weight::index_to_u32;
 use comm_graph::{DijkstraEngine, Direction, Graph, NodeId, Weight};
 
 /// All cores with their costs, computed by brute force.
@@ -34,6 +36,7 @@ pub fn naive_all_cores(graph: &Graph, spec: &QuerySpec) -> Vec<(Core, Weight)> {
         });
         dist_to.push(d);
     }
+    // xtask-allow: no_panics — slot() is only called on members of keyword_union
     let slot = |v: NodeId| keyword_union.binary_search(&v).expect("keyword node");
 
     let mut out: Vec<(Core, Weight)> = Vec::new();
@@ -104,7 +107,7 @@ pub fn naive_community_nodes(
     }
     let centers: Vec<NodeId> = (0..n)
         .filter(|&u| dist_to.iter().all(|d| d[u].is_finite()))
-        .map(|u| NodeId(u as u32))
+        .map(|u| NodeId(index_to_u32(u)))
         .collect();
     if centers.is_empty() {
         return (Vec::new(), Vec::new());
@@ -132,7 +135,7 @@ pub fn naive_community_nodes(
             .min()
             .unwrap_or(Weight::INFINITY);
         if to_knode.is_finite() && dist_from_center[u] + to_knode <= rmax {
-            members.push(NodeId(u as u32));
+            members.push(NodeId(index_to_u32(u)));
         }
     }
     members.sort_unstable();

@@ -9,6 +9,7 @@
 //! Dijkstra, exactly as claimed in Sec. IV-A.
 
 use crate::types::{Core, CostFn};
+use comm_graph::weight::index_to_u32;
 use comm_graph::{DijkstraEngine, Direction, Graph, InterruptReason, NodeId, RunGuard, Weight};
 
 const NO_SRC: u32 = u32::MAX;
@@ -80,7 +81,7 @@ impl NeighborSets {
 
     /// The nodes of `N_i` (mainly for tests; `O(n)`).
     pub fn neighbor_set(&self, i: usize) -> Vec<NodeId> {
-        (0..self.n as u32)
+        (0..index_to_u32(self.n))
             .map(NodeId)
             .filter(|u| self.dist[i * self.n + u.index()].is_finite())
             .collect()
@@ -100,6 +101,7 @@ impl NeighborSets {
         rmax: Weight,
     ) {
         self.recompute_dim_guarded(graph, engine, i, seeds, rmax, &RunGuard::unlimited())
+            // xtask-allow: no_panics — an unlimited guard can never interrupt the sweep
             .expect("unlimited guard never trips")
     }
 
@@ -162,6 +164,7 @@ impl NeighborSets {
     /// the incrementally maintained totals (`O(n)`); other variants
     /// aggregate the l per-dimension distances per intersection node
     /// (`O(l·n)`, still within the per-answer budget of Theorem IV.1).
+    // xtask-allow: guard_coverage — scans the in-memory N_i table (O(l·n) per answer), no graph traversal
     pub fn best_core_with(&self, cost_fn: CostFn) -> Option<BestCore> {
         let mut best: Option<(Weight, usize)> = None;
         for u in 0..self.n {
@@ -189,7 +192,7 @@ impl NeighborSets {
         Some(BestCore {
             core,
             cost,
-            center: NodeId(u as u32),
+            center: NodeId(index_to_u32(u)),
         })
     }
 
@@ -197,7 +200,7 @@ impl NeighborSets {
     pub fn intersection(&self) -> Vec<NodeId> {
         (0..self.n)
             .filter(|&u| usize::from(self.count[u]) == self.l)
-            .map(|u| NodeId(u as u32))
+            .map(|u| NodeId(index_to_u32(u)))
             .collect()
     }
 

@@ -19,6 +19,7 @@
 
 use crate::error::{validate_radius, QueryError};
 use crate::types::QuerySpec;
+use comm_graph::weight::index_to_u32;
 use comm_graph::{
     DijkstraEngine, Direction, Graph, GraphBuilder, InducedGraph, InterruptReason, NodeId,
     RunGuard, Weight,
@@ -62,6 +63,7 @@ impl ProjectionIndex {
         radius: Weight,
     ) -> ProjectionIndex {
         Self::build_guarded(graph, keywords, radius, &RunGuard::unlimited())
+            // xtask-allow: no_panics — an unlimited guard can never interrupt the sweep
             .expect("unlimited guard never trips")
     }
 
@@ -165,7 +167,9 @@ impl ProjectionIndex {
         match self.try_project(keywords, rmax, &RunGuard::unlimited()) {
             Ok(pq) => Some(pq),
             Err(QueryError::UnknownKeyword(_)) => None,
+            // xtask-allow: no_panics — project() documents this panic; try_project is the fallible path
             Err(e @ QueryError::RadiusExceedsIndex { .. }) => panic!("{e}"),
+            // xtask-allow: no_panics — remaining errors are guard trips, impossible under an unlimited guard
             Err(e) => panic!("unlimited projection cannot fail: {e}"),
         }
     }
@@ -216,7 +220,10 @@ impl ProjectionIndex {
 
         // Renumber into a scratch graph.
         let local = |orig: NodeId| -> NodeId {
-            NodeId(v_union.binary_search(&orig).expect("endpoint in V'") as u32)
+            NodeId(index_to_u32(
+                // xtask-allow: no_panics — union_edges endpoints are drawn from v_union by construction
+                v_union.binary_search(&orig).expect("endpoint in V'"),
+            ))
         };
         let mut b = GraphBuilder::new(v_union.len());
         for &(u, v, w) in &union_edges {
@@ -236,7 +243,7 @@ impl ProjectionIndex {
         }
         let centers: Vec<NodeId> = (0..np)
             .filter(|&u| count[u] == w_sets.len())
-            .map(|u| NodeId(u as u32))
+            .map(|u| NodeId(index_to_u32(u)))
             .collect();
 
         // Double sweep (lines 10–14): keep v with dist(s,v) + dist(v,t) ≤ rmax,
@@ -283,7 +290,7 @@ impl ProjectionIndex {
             let to_final: HashMap<NodeId, NodeId> = keep_local
                 .iter()
                 .enumerate()
-                .map(|(i, &v)| (v, NodeId(i as u32)))
+                .map(|(i, &v)| (v, NodeId(index_to_u32(i))))
                 .collect();
             let mut b = GraphBuilder::new(keep.len());
             for &(u, v, w) in &union_edges {

@@ -101,6 +101,7 @@ fn grow_forest(graph: &Graph, spec: &QuerySpec, engine: &mut DijkstraEngine) -> 
 /// total weight (ties by root id then core). Every node that reaches all
 /// keywords within `Rmax` roots exactly one tree here (its shortest-path
 /// tree); this is the classic distinct-root semantics of BANKS.
+// xtask-allow: guard_coverage — BANKS-style baseline for result comparison; guard threading tracked in ROADMAP
 pub fn topk_trees(graph: &Graph, spec: &QuerySpec, k: usize) -> Vec<TreeAnswer> {
     let n = graph.node_count();
     let l = spec.l();

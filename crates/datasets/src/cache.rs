@@ -7,6 +7,7 @@
 //! `comm-bench`'s `COMM_BENCH_CACHE`).
 
 use comm_graph::io::{read_graph, write_graph};
+use comm_graph::weight::index_to_u32;
 use comm_graph::{Graph, NodeId};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -47,12 +48,12 @@ pub fn save_bundle<'a>(
     w.write_all(&MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     let entries: Vec<(&str, &[NodeId])> = keywords.into_iter().collect();
-    w.write_all(&(entries.len() as u32).to_le_bytes())?;
+    w.write_all(&index_to_u32(entries.len()).to_le_bytes())?;
     for (kw, nodes) in entries {
         let bytes = kw.as_bytes();
-        w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        w.write_all(&index_to_u32(bytes.len()).to_le_bytes())?;
         w.write_all(bytes)?;
-        w.write_all(&(nodes.len() as u32).to_le_bytes())?;
+        w.write_all(&index_to_u32(nodes.len()).to_le_bytes())?;
         for n in nodes {
             w.write_all(&n.0.to_le_bytes())?;
         }

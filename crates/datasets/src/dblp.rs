@@ -231,6 +231,7 @@ pub fn generate_dblp(config: &DblpConfig) -> GeneratedDataset {
                 Value::Text(format!("author{a} surname{}", a % 997)),
             ],
         )
+        // xtask-allow: no_panics — the generator emits schema-valid rows by construction
         .expect("author insert");
     }
     for (p, title) in titles.into_iter().enumerate() {
@@ -238,6 +239,7 @@ pub fn generate_dblp(config: &DblpConfig) -> GeneratedDataset {
             paper_t,
             &[Value::Int(p as i64), Value::Text(title), Value::Null],
         )
+        // xtask-allow: no_panics — the generator emits schema-valid rows by construction
         .expect("paper insert");
     }
     for &(a, p) in &writes {
@@ -245,10 +247,12 @@ pub fn generate_dblp(config: &DblpConfig) -> GeneratedDataset {
             write_t,
             &[Value::Int(a as i64), Value::Int(p as i64), Value::Null],
         )
+        // xtask-allow: no_panics — the generator emits schema-valid rows by construction
         .expect("write insert");
     }
     for &(a, b) in &cites {
         db.insert(cite_t, &[Value::Int(a as i64), Value::Int(b as i64)])
+            // xtask-allow: no_panics — the generator emits schema-valid rows by construction
             .expect("cite insert");
     }
 

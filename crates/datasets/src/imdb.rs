@@ -168,6 +168,7 @@ pub fn generate_imdb(config: &ImdbConfig) -> GeneratedDataset {
                 Value::Text(format!("{:05}", (u * 37) % 100_000)),
             ],
         )
+        // xtask-allow: no_panics — the generator emits schema-valid rows by construction
         .expect("user insert");
     }
     for (m, title) in titles.into_iter().enumerate() {
@@ -179,6 +180,7 @@ pub fn generate_imdb(config: &ImdbConfig) -> GeneratedDataset {
                 Value::Text(GENRES[m % GENRES.len()].to_owned()),
             ],
         )
+        // xtask-allow: no_panics — the generator emits schema-valid rows by construction
         .expect("movie insert");
     }
     let mut ts = 960_000_000i64;
@@ -193,6 +195,7 @@ pub fn generate_imdb(config: &ImdbConfig) -> GeneratedDataset {
                 Value::Int(ts),
             ],
         )
+        // xtask-allow: no_panics — the generator emits schema-valid rows by construction
         .expect("rating insert");
     }
 

@@ -105,6 +105,11 @@ pub enum Fig1Node {
     Paper2 = 4,
 }
 
+fn nid(v: Fig1Node) -> NodeId {
+    // xtask-allow: narrowing_cast — C-like discriminants 0..=4 always fit u32
+    NodeId(v as u32)
+}
+
 /// Builds Fig. 1(a): papers link to their authors with author-order weights
 /// (1 for first author, 2 for second, …) and `paper1` cites `paper2` with
 /// weight 4. Edges are bi-directed so that both trees and communities exist.
@@ -112,7 +117,7 @@ pub fn fig1_graph() -> Graph {
     use Fig1Node::*;
     let mut b = GraphBuilder::new(5);
     let mut bi = |u: Fig1Node, v: Fig1Node, w: f64| {
-        b.add_bidirected_edge(NodeId(u as u32), NodeId(v as u32), Weight::new(w));
+        b.add_bidirected_edge(nid(u), nid(v), Weight::new(w));
     };
     bi(Paper1, JohnSmith, 1.0);
     bi(Paper1, KateGreen, 2.0);
@@ -127,10 +132,7 @@ pub fn fig1_graph() -> Graph {
 /// John Smith and Jim Smith.
 pub fn fig1_keyword_nodes() -> Vec<Vec<NodeId>> {
     use Fig1Node::*;
-    vec![
-        vec![NodeId(KateGreen as u32)],
-        vec![NodeId(JohnSmith as u32), NodeId(JimSmith as u32)],
-    ]
+    vec![vec![nid(KateGreen)], vec![nid(JohnSmith), nid(JimSmith)]]
 }
 
 #[cfg(test)]

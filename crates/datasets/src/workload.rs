@@ -104,6 +104,7 @@ pub fn query_keywords(groups: &[KeywordGroup], kwf: f64, l: usize) -> Vec<&'stat
     let group = groups
         .iter()
         .find(|g| (g.kwf - kwf).abs() < 1e-12)
+        // xtask-allow: no_panics — the kwf grid is a compile-time constant; a miss is a caller bug
         .unwrap_or_else(|| panic!("no keyword group at kwf {kwf}"));
     (0..l)
         .map(|i| group.keywords[i % group.keywords.len()])

@@ -10,6 +10,7 @@ enum Op {
     PopMin,
     DecreaseKey { live_idx: usize, by: u32 },
     Peek,
+    Meld(Vec<u32>),
 }
 
 fn ops() -> impl Strategy<Value = Vec<Op>> {
@@ -19,6 +20,7 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
             Just(Op::PopMin),
             (0usize..64, 1u32..500).prop_map(|(live_idx, by)| Op::DecreaseKey { live_idx, by }),
             Just(Op::Peek),
+            proptest::collection::vec(0u32..10_000, 0..8).prop_map(Op::Meld),
         ],
         1..200,
     )
@@ -75,7 +77,27 @@ proptest! {
                     let expect = live.iter().map(|&(_, k, id)| (k, id)).min();
                     prop_assert_eq!(heap.peek_min().map(|(&(k, id), _)| (k, id)), expect);
                 }
+                Op::Meld(keys) => {
+                    // Build a side heap, meld it in, and rebase its handles
+                    // by the returned slot offset.
+                    let mut side: FibHeap<(u32, u64), u64> = FibHeap::new();
+                    let mut side_live: Vec<(NodeRef, u32, u64)> = Vec::new();
+                    for k in keys {
+                        let id = next_id;
+                        next_id += 1;
+                        side_live.push((side.push((k, id), id), k, id));
+                    }
+                    side.validate().unwrap();
+                    let offset = heap.meld(side);
+                    live.extend(
+                        side_live
+                            .into_iter()
+                            .map(|(r, k, id)| (r.rebased(offset), k, id)),
+                    );
+                }
             }
+            // The deep structural validator must hold after *every* op.
+            heap.validate().unwrap();
             prop_assert_eq!(heap.len(), live.len());
         }
         // Drain and verify global order.
@@ -86,6 +108,30 @@ proptest! {
             drained.push(key);
         }
         prop_assert_eq!(drained, rest);
+    }
+
+    #[test]
+    fn meld_heapsort_matches_binaryheap(
+        chunks in proptest::collection::vec(proptest::collection::vec(0u32..10_000, 0..50), 1..8),
+    ) {
+        // Meld chunk-heaps together and heapsort; a std::BinaryHeap fed the
+        // same keys is the oracle.
+        let mut reference = std::collections::BinaryHeap::new();
+        let mut heap: FibHeap<u32, u32> = FibHeap::new();
+        for chunk in &chunks {
+            let mut side = FibHeap::new();
+            for &k in chunk {
+                side.push(k, k);
+                reference.push(std::cmp::Reverse(k));
+            }
+            heap.meld(side);
+            heap.validate().unwrap();
+        }
+        while let Some((k, _)) = heap.pop_min() {
+            prop_assert_eq!(Some(std::cmp::Reverse(k)), reference.pop());
+            heap.validate().unwrap();
+        }
+        prop_assert!(reference.is_empty());
     }
 
     #[test]

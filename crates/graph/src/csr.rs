@@ -5,7 +5,7 @@
 //! from centers" (Algorithm 4's virtual source `s`) and "expand backward
 //! from keyword nodes" (Algorithm 2's virtual sink `t`).
 
-use crate::weight::Weight;
+use crate::weight::{index_to_u32, Weight};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -65,11 +65,14 @@ impl Direction {
 }
 
 /// One half (forward or reverse) of the adjacency in CSR form.
+///
+/// Fields are `pub(crate)` so `crate::verify` can inspect (and, in tests,
+/// corrupt) the raw arrays without widening the public API.
 #[derive(Clone, Default)]
-struct Csr {
-    offsets: Vec<u32>,
-    targets: Vec<NodeId>,
-    weights: Vec<Weight>,
+pub(crate) struct Csr {
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) targets: Vec<NodeId>,
+    pub(crate) weights: Vec<Weight>,
 }
 
 impl Csr {
@@ -135,10 +138,10 @@ impl Csr {
 /// materialized. This is the paper's database graph `G_D = (V, E)`.
 #[derive(Clone, Default)]
 pub struct Graph {
-    n: usize,
-    m: usize,
-    fwd: Csr,
-    rev: Csr,
+    pub(crate) n: usize,
+    pub(crate) m: usize,
+    pub(crate) fwd: Csr,
+    pub(crate) rev: Csr,
 }
 
 impl Graph {
@@ -156,7 +159,7 @@ impl Graph {
 
     /// Iterates all node ids, `v0..v{n-1}`.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.n as u32).map(NodeId)
+        (0..index_to_u32(self.n)).map(NodeId)
     }
 
     /// Iterates the neighbors of `u` in the given direction, as
@@ -252,7 +255,7 @@ impl Graph {
         let to_local: HashMap<NodeId, NodeId> = sorted
             .iter()
             .enumerate()
-            .map(|(i, &orig)| (orig, NodeId(i as u32)))
+            .map(|(i, &orig)| (orig, NodeId(index_to_u32(i))))
             .collect();
         let mut builder = GraphBuilder::new(sorted.len());
         for (&orig, &local) in sorted.iter().zip(sorted.iter().map(|o| &to_local[o])) {
@@ -296,7 +299,7 @@ impl InducedGraph {
         self.original_ids
             .binary_search(&original)
             .ok()
-            .map(|i| NodeId(i as u32))
+            .map(|i| NodeId(index_to_u32(i)))
     }
 }
 
@@ -336,7 +339,7 @@ impl GraphBuilder {
 
     /// Adds a fresh node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
-        let id = NodeId(self.n as u32);
+        let id = NodeId(index_to_u32(self.n));
         self.n += 1;
         id
     }
@@ -366,15 +369,22 @@ impl GraphBuilder {
     }
 
     /// Finalizes the CSR representation.
+    ///
+    /// Debug and `verify` builds run the full [`Graph::validate`] pass on
+    /// the result, so any construction bug surfaces at build time rather
+    /// than as a wrong answer deep inside a Dijkstra sweep.
     pub fn build(self) -> Graph {
         let fwd = Csr::from_edges(self.n, &self.edges, false);
         let rev = Csr::from_edges(self.n, &self.edges, true);
-        Graph {
+        let g = Graph {
             n: self.n,
             m: self.edges.len(),
             fwd,
             rev,
-        }
+        };
+        #[cfg(any(debug_assertions, feature = "verify"))]
+        g.assert_valid();
+        g
     }
 
     /// Finalizes the CSR representation with *node weights* folded into

@@ -78,6 +78,7 @@ impl FibDijkstraEngine {
         visit: F,
     ) -> usize {
         self.run_guarded(graph, dir, seeds, radius, &RunGuard::unlimited(), visit)
+            // xtask-allow: no_panics — RunGuard::unlimited() has no budgets, so Interrupted is unreachable
             .expect("unlimited guard never trips")
     }
 
@@ -137,9 +138,11 @@ impl FibDijkstraEngine {
                     self.dist[vi] = nd;
                     self.source[vi] = source.0;
                     self.parent[vi] = u.0;
+                    // xtask-allow: no_panics — epoch-stamped, unsettled nodes always hold a live handle
                     let h = self.handle[vi].expect("unsettled stamped node is queued");
                     self.heap
                         .decrease_key(h, (nd, v))
+                        // xtask-allow: no_panics — nd < dist[vi] guarantees a strictly smaller (key, id) pair
                         .expect("strictly smaller key");
                 }
             }

@@ -8,7 +8,7 @@
 //! `(u: u32, v: u32, w: f64)`.
 
 use crate::csr::{Graph, GraphBuilder, NodeId};
-use crate::weight::Weight;
+use crate::weight::{try_u64_to_usize, Weight};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -81,8 +81,10 @@ fn read_graph_limited<R: Read>(r: &mut R, stream_len: Option<u64>) -> io::Result
             return Err(bad("edge count disagrees with stream length"));
         }
     }
-    let n = n64 as usize;
-    let m = m64 as usize;
+    // Checked on 32-bit hosts too: a count that fits u32 ids may still
+    // exceed the host's address width.
+    let n = try_u64_to_usize(n64).ok_or_else(|| bad("node count exceeds host address width"))?;
+    let m = try_u64_to_usize(m64).ok_or_else(|| bad("edge count exceeds host address width"))?;
     // Read and validate every record before building the graph; capacity
     // grows with the bytes actually read, never with the claimed count.
     let mut edges = Vec::with_capacity(m.min(PREALLOC_CAP));

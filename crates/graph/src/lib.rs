@@ -33,10 +33,12 @@ mod dijkstra_fib;
 pub mod guard;
 pub mod io;
 pub mod reference;
-mod weight;
+pub mod verify;
+pub mod weight;
 
 pub use csr::{graph_from_edges, Direction, Graph, GraphBuilder, InducedGraph, NodeId};
 pub use dijkstra::{shortest_distances, DijkstraEngine, Settled};
 pub use dijkstra_fib::FibDijkstraEngine;
 pub use guard::{InterruptReason, Outcome, RunGuard};
+pub use verify::GraphInvariantError;
 pub use weight::Weight;

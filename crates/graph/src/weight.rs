@@ -30,6 +30,7 @@ impl Weight {
     #[inline]
     pub fn new(w: f64) -> Weight {
         Weight::try_new(w)
+            // xtask-allow: no_panics — NaN/negative weights are caller bugs; the fallible path is try_new
             .unwrap_or_else(|| panic!("edge weights must be non-negative and not NaN, got {w}"))
     }
 
@@ -56,6 +57,36 @@ impl Weight {
     pub fn is_finite(self) -> bool {
         self.0.is_finite()
     }
+}
+
+/// Narrows a `usize` index to `u32`, returning `None` when it does not fit.
+///
+/// Node ids, CSR offsets, and row ids are `u32` by design (flat-vector
+/// indexing at DBLP scale); every `usize → u32` narrowing in the workspace
+/// funnels through here or [`index_to_u32`] so the truncation check lives in
+/// exactly one audited place (enforced by `cargo xtask lint`,
+/// rule `narrowing_cast`).
+#[inline]
+pub fn try_index_to_u32(i: usize) -> Option<u32> {
+    u32::try_from(i).ok()
+}
+
+/// Narrows a `usize` index to `u32`, panicking when it does not fit.
+///
+/// Use this at call sites whose surrounding structure already bounds the
+/// index (e.g. a `Vec` that is grown one `u32` id at a time); prefer
+/// [`try_index_to_u32`] where an error can be returned.
+#[inline]
+pub fn index_to_u32(i: usize) -> u32 {
+    // xtask-allow: no_panics — the single audited usize→u32 chokepoint; >4G ids is unsupported
+    try_index_to_u32(i).unwrap_or_else(|| panic!("index {i} exceeds the u32 id space"))
+}
+
+/// Converts a `u64` on-disk field to `usize`, returning `None` when it does
+/// not fit the host (possible on 32-bit targets).
+#[inline]
+pub fn try_u64_to_usize(x: u64) -> Option<usize> {
+    usize::try_from(x).ok()
 }
 
 impl From<u32> for Weight {
@@ -162,5 +193,28 @@ mod tests {
     #[test]
     fn from_u32() {
         assert_eq!(Weight::from(7u32), Weight::new(7.0));
+    }
+
+    #[test]
+    fn checked_index_narrowing() {
+        assert_eq!(try_index_to_u32(0), Some(0));
+        assert_eq!(try_index_to_u32(u32::MAX as usize), Some(u32::MAX));
+        assert_eq!(try_index_to_u32(u32::MAX as usize + 1), None);
+        assert_eq!(index_to_u32(41), 41);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 id space")]
+    fn unchecked_index_narrowing_panics() {
+        let _ = index_to_u32(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn checked_u64_widening() {
+        assert_eq!(try_u64_to_usize(12), Some(12));
+        assert_eq!(
+            try_u64_to_usize(u64::from(u32::MAX)),
+            Some(u32::MAX as usize)
+        );
     }
 }

@@ -3,9 +3,14 @@
 //! Tuples are stored as compact byte rows (tag + payload per cell) in a
 //! per-table arena, rather than as `Vec<Value>` — at DBLP scale (millions of
 //! tuples) the pointer-per-cell representation would dominate memory.
+//!
+//! Encoding validates before writing (no partial rows on error), and
+//! decoding is fully checked: a corrupted arena slice yields
+//! [`RdbError::CorruptRow`] instead of a panic or an out-of-bounds slice.
 
+use crate::error::RdbError;
 use crate::value::Value;
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{BufMut, BytesMut};
 
 const TAG_NULL: u8 = 0;
 const TAG_INT: u8 = 1;
@@ -13,7 +18,17 @@ const TAG_TEXT: u8 = 2;
 const TAG_FLOAT: u8 = 3;
 
 /// Encodes one tuple into `buf`.
-pub fn encode_row(values: &[Value], buf: &mut BytesMut) {
+///
+/// Fails with [`RdbError::OversizedText`] — before writing anything — when a
+/// text cell exceeds the `u32` length prefix.
+pub fn encode_row(values: &[Value], buf: &mut BytesMut) -> Result<(), RdbError> {
+    for v in values {
+        if let Value::Text(s) = v {
+            if u32::try_from(s.len()).is_err() {
+                return Err(RdbError::OversizedText { len: s.len() });
+            }
+        }
+    }
     for v in values {
         match v {
             Value::Null => buf.put_u8(TAG_NULL),
@@ -23,7 +38,9 @@ pub fn encode_row(values: &[Value], buf: &mut BytesMut) {
             }
             Value::Text(s) => {
                 buf.put_u8(TAG_TEXT);
-                buf.put_u32_le(s.len() as u32);
+                // Validated above; `as`-free thanks to the pre-scan.
+                let len = u32::try_from(s.len()).unwrap_or_default();
+                buf.put_u32_le(len);
                 buf.put_slice(s.as_bytes());
             }
             Value::Float(x) => {
@@ -32,52 +49,95 @@ pub fn encode_row(values: &[Value], buf: &mut BytesMut) {
             }
         }
     }
+    Ok(())
 }
 
 /// Decodes a full row of `arity` cells from an arena slice.
-pub fn decode_row(mut bytes: &[u8], arity: usize) -> Vec<Value> {
+pub fn decode_row(mut bytes: &[u8], arity: usize) -> Result<Vec<Value>, RdbError> {
     let mut out = Vec::with_capacity(arity);
     for _ in 0..arity {
-        out.push(decode_value(&mut bytes));
+        out.push(decode_value(&mut bytes)?);
     }
-    debug_assert!(!bytes.has_remaining(), "trailing bytes after row decode");
-    out
+    if !bytes.is_empty() {
+        return Err(corrupt("trailing bytes after row decode"));
+    }
+    Ok(out)
 }
 
 /// Decodes only the cell at `column`, skipping the others cheaply.
-pub fn decode_cell(mut bytes: &[u8], column: usize) -> Value {
+pub fn decode_cell(mut bytes: &[u8], column: usize) -> Result<Value, RdbError> {
     for _ in 0..column {
-        skip_value(&mut bytes);
+        skip_value(&mut bytes)?;
     }
     decode_value(&mut bytes)
 }
 
-fn decode_value(bytes: &mut &[u8]) -> Value {
-    match bytes.get_u8() {
-        TAG_NULL => Value::Null,
-        TAG_INT => Value::Int(bytes.get_i64_le()),
-        TAG_TEXT => {
-            let len = bytes.get_u32_le() as usize;
-            let (raw, rest) = bytes.split_at(len);
-            let text = std::str::from_utf8(raw).expect("rows store valid UTF-8");
-            *bytes = rest;
-            Value::Text(text.to_owned())
-        }
-        TAG_FLOAT => Value::Float(bytes.get_f64_le()),
-        tag => panic!("corrupt row: unknown tag {tag}"),
+fn corrupt(detail: &str) -> RdbError {
+    RdbError::CorruptRow {
+        detail: detail.to_owned(),
     }
 }
 
-fn skip_value(bytes: &mut &[u8]) {
-    match bytes.get_u8() {
-        TAG_NULL => {}
-        TAG_INT => bytes.advance(8),
+fn take_u8(bytes: &mut &[u8]) -> Result<u8, RdbError> {
+    let (&first, rest) = bytes
+        .split_first()
+        .ok_or_else(|| corrupt("row truncated at cell tag"))?;
+    *bytes = rest;
+    Ok(first)
+}
+
+fn take<'a>(bytes: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8], RdbError> {
+    if bytes.len() < n {
+        return Err(corrupt(what));
+    }
+    let (head, rest) = bytes.split_at(n);
+    *bytes = rest;
+    Ok(head)
+}
+
+fn take_array<const N: usize>(bytes: &mut &[u8], what: &str) -> Result<[u8; N], RdbError> {
+    let head = take(bytes, N, what)?;
+    let mut arr = [0u8; N];
+    arr.copy_from_slice(head);
+    Ok(arr)
+}
+
+fn decode_value(bytes: &mut &[u8]) -> Result<Value, RdbError> {
+    match take_u8(bytes)? {
+        TAG_NULL => Ok(Value::Null),
+        TAG_INT => Ok(Value::Int(i64::from_le_bytes(take_array(
+            bytes,
+            "row truncated inside Int cell",
+        )?))),
         TAG_TEXT => {
-            let len = bytes.get_u32_le() as usize;
-            bytes.advance(len);
+            let len32 = u32::from_le_bytes(take_array(bytes, "row truncated at Text length")?);
+            let len = usize::try_from(len32)
+                .map_err(|_| corrupt("text length exceeds host address width"))?;
+            let raw = take(bytes, len, "row truncated inside Text cell")?;
+            let text =
+                std::str::from_utf8(raw).map_err(|_| corrupt("text cell is not valid UTF-8"))?;
+            Ok(Value::Text(text.to_owned()))
         }
-        TAG_FLOAT => bytes.advance(8),
-        tag => panic!("corrupt row: unknown tag {tag}"),
+        TAG_FLOAT => Ok(Value::Float(f64::from_le_bytes(take_array(
+            bytes,
+            "row truncated inside Float cell",
+        )?))),
+        _ => Err(corrupt("unknown cell tag")),
+    }
+}
+
+fn skip_value(bytes: &mut &[u8]) -> Result<(), RdbError> {
+    match take_u8(bytes)? {
+        TAG_NULL => Ok(()),
+        TAG_INT => take(bytes, 8, "row truncated inside Int cell").map(|_| ()),
+        TAG_TEXT => {
+            let len32 = u32::from_le_bytes(take_array(bytes, "row truncated at Text length")?);
+            let len = usize::try_from(len32)
+                .map_err(|_| corrupt("text length exceeds host address width"))?;
+            take(bytes, len, "row truncated inside Text cell").map(|_| ())
+        }
+        TAG_FLOAT => take(bytes, 8, "row truncated inside Float cell").map(|_| ()),
+        _ => Err(corrupt("unknown cell tag")),
     }
 }
 
@@ -87,8 +147,8 @@ mod tests {
 
     fn roundtrip(vals: Vec<Value>) {
         let mut buf = BytesMut::new();
-        encode_row(&vals, &mut buf);
-        let decoded = decode_row(&buf, vals.len());
+        encode_row(&vals, &mut buf).unwrap();
+        let decoded = decode_row(&buf, vals.len()).unwrap();
         assert_eq!(decoded, vals);
     }
 
@@ -116,14 +176,55 @@ mod tests {
     fn decode_single_cell() {
         let vals = vec![Value::Int(1), Value::Text("skip me".into()), Value::Int(99)];
         let mut buf = BytesMut::new();
-        encode_row(&vals, &mut buf);
-        assert_eq!(decode_cell(&buf, 0), Value::Int(1));
-        assert_eq!(decode_cell(&buf, 1), Value::Text("skip me".into()));
-        assert_eq!(decode_cell(&buf, 2), Value::Int(99));
+        encode_row(&vals, &mut buf).unwrap();
+        assert_eq!(decode_cell(&buf, 0).unwrap(), Value::Int(1));
+        assert_eq!(decode_cell(&buf, 1).unwrap(), Value::Text("skip me".into()));
+        assert_eq!(decode_cell(&buf, 2).unwrap(), Value::Int(99));
     }
 
     #[test]
     fn unicode_text() {
         roundtrip(vec![Value::Text("数据库 communauté".into())]);
+    }
+
+    #[test]
+    fn unknown_tag_is_an_error_not_a_panic() {
+        let err = decode_row(&[9u8], 1).unwrap_err();
+        assert!(matches!(err, RdbError::CorruptRow { .. }));
+        assert!(err.to_string().contains("unknown cell tag"));
+        let err = decode_cell(&[9u8, TAG_INT], 1).unwrap_err();
+        assert!(matches!(err, RdbError::CorruptRow { .. }));
+    }
+
+    #[test]
+    fn truncated_cells_are_errors() {
+        // Int tag with only 3 payload bytes.
+        assert!(decode_row(&[TAG_INT, 1, 2, 3], 1).is_err());
+        // Text claiming 10 bytes but carrying 2.
+        let mut buf = vec![TAG_TEXT];
+        buf.extend_from_slice(&10u32.to_le_bytes());
+        buf.extend_from_slice(b"ab");
+        assert!(decode_row(&buf, 1).is_err());
+        // Empty slice.
+        assert!(decode_row(&[], 1).is_err());
+        // Skipping over a truncated cell fails too.
+        assert!(decode_cell(&[TAG_FLOAT, 0], 1).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error() {
+        let mut buf = vec![TAG_TEXT];
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let err = decode_row(&buf, 1).unwrap_err();
+        assert!(err.to_string().contains("UTF-8"));
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut buf = BytesMut::new();
+        encode_row(&[Value::Int(1)], &mut buf).unwrap();
+        buf.put_u8(0);
+        assert!(decode_row(&buf, 1).is_err());
     }
 }

@@ -4,6 +4,7 @@ use crate::error::RdbError;
 use crate::schema::{TableId, TableSchema};
 use crate::table::{RowId, Table};
 use crate::value::Value;
+use comm_graph::weight::index_to_u32;
 
 /// A reference to one tuple anywhere in the database — the entity that
 /// becomes a node of the database graph `G_D`.
@@ -30,7 +31,7 @@ impl Database {
     /// Adds a table and returns its id. Foreign keys may only reference
     /// tables that already exist (or the table itself).
     pub fn create_table(&mut self, schema: TableSchema) -> TableId {
-        let id = TableId(self.tables.len() as u32);
+        let id = TableId(index_to_u32(self.tables.len()));
         for fk in &schema.foreign_keys {
             assert!(
                 fk.target.0 <= id.0,
@@ -63,7 +64,7 @@ impl Database {
         self.tables
             .iter()
             .position(|t| t.schema().name == name)
-            .map(|i| TableId(i as u32))
+            .map(|i| TableId(index_to_u32(i)))
             .ok_or_else(|| RdbError::NoSuchTable {
                 name: name.to_owned(),
             })
@@ -71,7 +72,7 @@ impl Database {
 
     /// Iterates table ids.
     pub fn tables(&self) -> impl Iterator<Item = TableId> {
-        (0..self.tables.len() as u32).map(TableId)
+        (0..index_to_u32(self.tables.len())).map(TableId)
     }
 
     /// Inserts a row, enforcing primary-key uniqueness, types, and every

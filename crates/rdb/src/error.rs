@@ -49,6 +49,17 @@ pub enum RdbError {
         /// The missing name.
         name: String,
     },
+    /// A text cell was too large for the row format's `u32` length prefix.
+    OversizedText {
+        /// The cell's byte length.
+        len: usize,
+    },
+    /// An encoded row failed to decode (truncated payload, unknown cell
+    /// tag, or invalid UTF-8) — the arena bytes do not describe a row.
+    CorruptRow {
+        /// What the decoder found.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RdbError {
@@ -77,6 +88,10 @@ impl fmt::Display for RdbError {
                 write!(f, "table {table}.{column}: dangling foreign key {key}")
             }
             RdbError::NoSuchTable { name } => write!(f, "no table named {name}"),
+            RdbError::OversizedText { len } => {
+                write!(f, "text cell of {len} bytes exceeds the u32 length prefix")
+            }
+            RdbError::CorruptRow { detail } => write!(f, "corrupt row: {detail}"),
         }
     }
 }

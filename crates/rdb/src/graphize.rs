@@ -9,8 +9,10 @@
 
 use crate::database::{Database, TupleRef};
 use crate::text::FullTextIndex;
-use comm_graph::{Graph, GraphBuilder, NodeId, Weight};
+use comm_graph::weight::index_to_u32;
+use comm_graph::{Graph, GraphBuilder, GraphInvariantError, NodeId, Weight};
 use std::collections::HashMap;
+use std::fmt;
 
 /// How to weight the directed edges of the materialized graph.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -28,6 +30,67 @@ pub enum EdgeMode {
     BiDirected,
     /// Only the referencing → referenced direction.
     ForwardOnly,
+}
+
+/// Why a materialized [`DatabaseGraph`] failed certification.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WeightCertificationError {
+    /// The graph itself violates a CSR invariant.
+    InvalidGraph(GraphInvariantError),
+    /// An edge's weight disagrees with the declared [`WeightScheme`].
+    WrongEdgeWeight {
+        /// Edge source.
+        from: NodeId,
+        /// Edge target.
+        to: NodeId,
+        /// The stored weight.
+        got: f64,
+        /// The weight the scheme prescribes.
+        expected: f64,
+    },
+    /// The provenance table does not cover the graph's nodes one-to-one.
+    ProvenanceLengthMismatch {
+        /// Graph node count.
+        nodes: usize,
+        /// Provenance entries.
+        tuples: usize,
+    },
+    /// A keyword's posting list is not sorted and deduplicated.
+    UnsortedKeywordPostings {
+        /// The offending keyword.
+        keyword: String,
+    },
+}
+
+impl fmt::Display for WeightCertificationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightCertificationError::InvalidGraph(e) => write!(f, "invalid database graph: {e}"),
+            WeightCertificationError::WrongEdgeWeight {
+                from,
+                to,
+                got,
+                expected,
+            } => write!(
+                f,
+                "edge {from}->{to} weighs {got}, the weight scheme prescribes {expected}"
+            ),
+            WeightCertificationError::ProvenanceLengthMismatch { nodes, tuples } => {
+                write!(f, "{nodes} graph nodes but {tuples} provenance entries")
+            }
+            WeightCertificationError::UnsortedKeywordPostings { keyword } => {
+                write!(f, "posting list of {keyword:?} is not sorted/deduplicated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WeightCertificationError {}
+
+impl From<GraphInvariantError> for WeightCertificationError {
+    fn from(e: GraphInvariantError) -> WeightCertificationError {
+        WeightCertificationError::InvalidGraph(e)
+    }
 }
 
 /// The materialized database graph: topology plus tuple provenance plus a
@@ -54,7 +117,7 @@ impl DatabaseGraph {
                     table: table_id,
                     row,
                 };
-                node_of.insert(tref, NodeId(provenance.len() as u32));
+                node_of.insert(tref, NodeId(index_to_u32(provenance.len())));
                 provenance.push(tref);
             }
         }
@@ -114,11 +177,59 @@ impl DatabaseGraph {
             keyword_nodes.insert(kw.to_owned(), nodes);
         }
 
-        DatabaseGraph {
+        let materialized = DatabaseGraph {
             graph,
             provenance,
             node_of,
             keyword_nodes,
+        };
+        #[cfg(any(debug_assertions, feature = "verify"))]
+        materialized.assert_certified(scheme);
+        materialized
+    }
+
+    /// Certifies the materialized graph against its construction contract:
+    /// CSR invariants hold, every edge weight matches `scheme` (recomputed
+    /// from the graph's own in-degrees for [`WeightScheme::LogInDegree`]),
+    /// provenance covers the nodes one-to-one, and every keyword posting
+    /// list is sorted and deduplicated.
+    pub fn validate_weights(&self, scheme: WeightScheme) -> Result<(), WeightCertificationError> {
+        self.graph.validate()?;
+        if self.provenance.len() != self.graph.node_count() {
+            return Err(WeightCertificationError::ProvenanceLengthMismatch {
+                nodes: self.graph.node_count(),
+                tuples: self.provenance.len(),
+            });
+        }
+        for (u, v, w) in self.graph.edges() {
+            let expected = match scheme {
+                WeightScheme::LogInDegree => (1.0 + self.graph.in_degree(v) as f64).log2(),
+                WeightScheme::Uniform(w) => w,
+            };
+            if w.get() != expected {
+                return Err(WeightCertificationError::WrongEdgeWeight {
+                    from: u,
+                    to: v,
+                    got: w.get(),
+                    expected,
+                });
+            }
+        }
+        for (keyword, nodes) in self.keywords() {
+            if nodes.windows(2).any(|p| p[0] >= p[1]) {
+                return Err(WeightCertificationError::UnsortedKeywordPostings {
+                    keyword: keyword.to_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    #[cfg(any(debug_assertions, feature = "verify"))]
+    fn assert_certified(&self, scheme: WeightScheme) {
+        if let Err(e) = self.validate_weights(scheme) {
+            // xtask-allow: no_panics — materialize() just built this graph; a certification failure is a graphize bug
+            panic!("materialized database graph failed certification: {e}");
         }
     }
 
@@ -263,6 +374,29 @@ mod tests {
             let t = g.tuple_of(node);
             assert_eq!(g.node_of(t), Some(node));
         }
+    }
+
+    #[test]
+    fn materialized_graph_certifies() {
+        let db = coauthor_db();
+        for scheme in [WeightScheme::LogInDegree, WeightScheme::Uniform(2.5)] {
+            let g = DatabaseGraph::materialize(&db, scheme, EdgeMode::BiDirected);
+            g.validate_weights(scheme).unwrap();
+        }
+    }
+
+    #[test]
+    fn wrong_scheme_is_detected() {
+        let db = coauthor_db();
+        let g = DatabaseGraph::materialize(&db, WeightScheme::Uniform(1.0), EdgeMode::BiDirected);
+        assert!(matches!(
+            g.validate_weights(WeightScheme::Uniform(2.0)),
+            Err(WeightCertificationError::WrongEdgeWeight { .. })
+        ));
+        assert!(matches!(
+            g.validate_weights(WeightScheme::LogInDegree),
+            Err(WeightCertificationError::WrongEdgeWeight { .. })
+        ));
     }
 
     #[test]

@@ -62,7 +62,7 @@ mod value;
 
 pub use database::{Database, TupleRef};
 pub use error::RdbError;
-pub use graphize::{DatabaseGraph, EdgeMode, WeightScheme};
+pub use graphize::{DatabaseGraph, EdgeMode, WeightCertificationError, WeightScheme};
 pub use schema::{ColumnDef, ColumnId, ForeignKey, TableId, TableSchema};
 pub use table::{RowId, Table};
 pub use text::{tokenize, FullTextIndex};

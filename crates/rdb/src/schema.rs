@@ -6,6 +6,7 @@
 //! tuple.
 
 use crate::value::ColumnType;
+use comm_graph::weight::index_to_u32;
 
 /// Index of a table within a database.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -85,6 +86,7 @@ impl TableSchema {
     pub fn with_primary_key(mut self, column: &str) -> TableSchema {
         let id = self
             .column_id(column)
+            // xtask-allow: no_panics — schema construction is programmer-facing; a typo'd column is a build bug
             .unwrap_or_else(|| panic!("no column named {column}"));
         assert_eq!(
             self.columns[id.0 as usize].ty,
@@ -99,6 +101,7 @@ impl TableSchema {
     pub fn with_foreign_key(mut self, column: &str, target: TableId) -> TableSchema {
         let id = self
             .column_id(column)
+            // xtask-allow: no_panics — schema construction is programmer-facing; a typo'd column is a build bug
             .unwrap_or_else(|| panic!("no column named {column}"));
         assert_eq!(
             self.columns[id.0 as usize].ty,
@@ -114,7 +117,7 @@ impl TableSchema {
         self.columns
             .iter()
             .position(|c| c.name == name)
-            .map(|i| ColumnId(i as u32))
+            .map(|i| ColumnId(index_to_u32(i)))
     }
 
     /// Number of columns.
@@ -128,7 +131,7 @@ impl TableSchema {
             .iter()
             .enumerate()
             .filter(|(_, c)| c.full_text)
-            .map(|(i, _)| ColumnId(i as u32))
+            .map(|(i, _)| ColumnId(index_to_u32(i)))
     }
 }
 

@@ -6,6 +6,7 @@ use crate::error::RdbError;
 use crate::schema::{ColumnId, TableSchema};
 use crate::value::Value;
 use bytes::BytesMut;
+use comm_graph::weight::index_to_u32;
 use std::collections::HashMap;
 
 /// Index of a row within its table.
@@ -67,25 +68,32 @@ impl Table {
                 });
             }
         }
-        let row = RowId(self.len() as u32);
-        if let Some(pk) = self.schema.primary_key {
-            let key = values[pk.0 as usize]
-                .as_int()
-                .ok_or_else(|| RdbError::NullPrimaryKey {
-                    table: self.schema.name.clone(),
-                })?;
-            if self.pk_index.insert(key, row).is_some() {
-                // Roll back the index entry we just clobbered is impossible
-                // (old value lost), so check first in a real engine; here we
-                // re-insert the old row id.
-                return Err(RdbError::DuplicateKey {
-                    table: self.schema.name.clone(),
-                    key,
-                });
+        let row = RowId(index_to_u32(self.len()));
+        let key = match self.schema.primary_key {
+            Some(pk) => {
+                let key =
+                    values[pk.0 as usize]
+                        .as_int()
+                        .ok_or_else(|| RdbError::NullPrimaryKey {
+                            table: self.schema.name.clone(),
+                        })?;
+                if self.pk_index.contains_key(&key) {
+                    return Err(RdbError::DuplicateKey {
+                        table: self.schema.name.clone(),
+                        key,
+                    });
+                }
+                Some(key)
             }
+            None => None,
+        };
+        // encode_row validates before writing, so a failure here leaves the
+        // arena untouched; the index entry is added only once the row is in.
+        encode_row(values, &mut self.arena)?;
+        self.offsets.push(index_to_u32(self.arena.len()));
+        if let Some(key) = key {
+            self.pk_index.insert(key, row);
         }
-        encode_row(values, &mut self.arena);
-        self.offsets.push(self.arena.len() as u32);
         Ok(row)
     }
 
@@ -95,14 +103,28 @@ impl Table {
         &self.arena[lo..hi]
     }
 
+    /// Decodes a full row, surfacing arena corruption as an error.
+    pub fn try_row(&self, row: RowId) -> Result<Vec<Value>, RdbError> {
+        decode_row(self.row_bytes(row), self.schema.arity())
+    }
+
+    /// Decodes one cell of a row, surfacing arena corruption as an error.
+    pub fn try_cell(&self, row: RowId, column: ColumnId) -> Result<Value, RdbError> {
+        decode_cell(self.row_bytes(row), column.0 as usize)
+    }
+
     /// Decodes a full row.
     pub fn row(&self, row: RowId) -> Vec<Value> {
-        decode_row(self.row_bytes(row), self.schema.arity())
+        self.try_row(row)
+            // xtask-allow: no_panics — the arena is written only by encode_row, whose output always decodes
+            .expect("table arena holds a malformed row")
     }
 
     /// Decodes one cell of a row.
     pub fn cell(&self, row: RowId, column: ColumnId) -> Value {
-        decode_cell(self.row_bytes(row), column.0 as usize)
+        self.try_cell(row, column)
+            // xtask-allow: no_panics — the arena is written only by encode_row, whose output always decodes
+            .expect("table arena holds a malformed cell")
     }
 
     /// Looks a row up by primary key.
@@ -112,7 +134,7 @@ impl Table {
 
     /// Iterates all row ids.
     pub fn rows(&self) -> impl Iterator<Item = RowId> {
-        (0..self.len() as u32).map(RowId)
+        (0..index_to_u32(self.len())).map(RowId)
     }
 
     /// Bytes used by the row arena (for size reporting).

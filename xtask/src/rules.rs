@@ -1,0 +1,466 @@
+//! The four repo-specific lint rules.
+//!
+//! Every rule reports findings with a stable rule id, a message, and a
+//! suggestion. Findings on `#[cfg(test)]` lines are dropped; findings on
+//! waived lines (see [`crate::scan::ALLOW_MARKER`]) are kept but flagged so
+//! the driver can count them without failing the build.
+
+use crate::scan::{ident_at, ident_before, SourceFile};
+use std::path::PathBuf;
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// Stable rule id (`no_panics`, `narrowing_cast`, `guard_coverage`,
+    /// `display_match`).
+    pub rule: &'static str,
+    /// What was found.
+    pub message: String,
+    /// How to fix it.
+    pub suggestion: String,
+    /// True when an `xtask-allow` waiver covers the finding.
+    pub waived: bool,
+}
+
+/// Rule id for the panic-family ban.
+pub const NO_PANICS: &str = "no_panics";
+/// Rule id for the narrowing-cast ban.
+pub const NARROWING_CAST: &str = "narrowing_cast";
+/// Rule id for the node-loop `RunGuard` coverage requirement.
+pub const GUARD_COVERAGE: &str = "guard_coverage";
+/// Rule id for exhaustive `Display` impls on `*Error` enums.
+pub const DISPLAY_MATCH: &str = "display_match";
+
+/// Runs every applicable rule over one file. `in_core` enables the
+/// guard-coverage rule (it only applies to `crates/core`).
+pub fn check_file(f: &SourceFile, in_core: bool) -> Vec<Finding> {
+    let mut out = Vec::new();
+    no_panics(f, &mut out);
+    narrowing_cast(f, &mut out);
+    if in_core {
+        guard_coverage(f, &mut out);
+    }
+    display_match(f, &mut out);
+    out.sort_by_key(|x| (x.line, x.rule));
+    out
+}
+
+fn push(f: &SourceFile, out: &mut Vec<Finding>, rule: &'static str, line: usize, msg: String, suggestion: &str) {
+    if f.is_test_line(line) {
+        return;
+    }
+    out.push(Finding {
+        file: f.path.clone(),
+        line,
+        rule,
+        message: msg,
+        suggestion: suggestion.to_string(),
+        waived: f.is_waived(rule, line),
+    });
+}
+
+/// `no_panics`: bans `.unwrap()`, `.expect(...)`, `panic!`, `todo!`, and
+/// `unimplemented!` in non-test library code.
+fn no_panics(f: &SourceFile, out: &mut Vec<Finding>) {
+    const SUGGESTION: &str = "return an error (QueryError/RdbError/HeapError) or document the \
+         invariant with `// xtask-allow: no_panics — <why>`";
+    for (needle, label) in [
+        (".unwrap(", "`.unwrap()`"),
+        (".expect(", "`.expect(...)`"),
+        ("panic!", "`panic!`"),
+        ("todo!", "`todo!`"),
+        ("unimplemented!", "`unimplemented!`"),
+    ] {
+        let mut search = 0;
+        while let Some(rel) = f.masked[search..].find(needle) {
+            let pos = search + rel;
+            search = pos + needle.len();
+            // Token boundaries: `.unwrap(` must not be `.unwrap_or(`;
+            // `panic!` must not be `some_panic!`.
+            if needle.starts_with('.') {
+                // The needle ends in '('; the method name is already exact.
+            } else if ident_before(&f.masked, pos) {
+                continue;
+            }
+            let line = f.line_of(pos);
+            push(
+                f,
+                out,
+                NO_PANICS,
+                line,
+                format!("{label} in non-test library code"),
+                SUGGESTION,
+            );
+        }
+    }
+}
+
+const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// `narrowing_cast`: bans bare `as` casts to sub-64-bit integer types
+/// (node-id/offset narrowing must go through the checked helpers in
+/// `graph::weight`).
+fn narrowing_cast(f: &SourceFile, out: &mut Vec<Finding>) {
+    const SUGGESTION: &str = "use the checked conversions in `graph::weight` \
+         (`index_to_u32`/`try_index_to_u32`) or `T::try_from(...)`";
+    let mut search = 0;
+    while let Some(rel) = f.masked[search..].find(" as ") {
+        let pos = search + rel;
+        search = pos + 4;
+        let after = &f.masked[pos + 4..];
+        let ty: String = after
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if ident_at(&f.masked, pos + 4 + ty.len()) {
+            continue;
+        }
+        // `x64 as usize` truncates on 32-bit hosts: flag usize casts whose
+        // source identifier names a 64-bit quantity (`n64`, `len_u64`, ...).
+        let from_64 = ty == "usize" && preceding_ident(&f.masked, pos).contains("64");
+        if !NARROW_TARGETS.contains(&ty.as_str()) && !from_64 {
+            continue;
+        }
+        let line = f.line_of(pos);
+        push(
+            f,
+            out,
+            NARROWING_CAST,
+            line,
+            format!("bare narrowing cast `as {ty}`"),
+            SUGGESTION,
+        );
+    }
+}
+
+/// The identifier directly before the ` as ` at `pos` (empty when the cast
+/// source is a parenthesized expression).
+fn preceding_ident(masked: &str, pos: usize) -> &str {
+    let bytes = masked.as_bytes();
+    let mut start = pos;
+    while start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
+        start -= 1;
+    }
+    &masked[start..pos]
+}
+
+/// `guard_coverage`: every `pub fn` in `crates/core` whose body loops over
+/// graph nodes must thread a `RunGuard` (or delegate to a `_guarded`
+/// variant), so new algorithms cannot bypass the execution governor.
+fn guard_coverage(f: &SourceFile, out: &mut Vec<Finding>) {
+    const SUGGESTION: &str = "accept `&RunGuard` (or delegate to a `*_guarded` variant) so the \
+         execution governor can interrupt the loop";
+    const LOOP_MARKS: [&str; 4] = [".nodes()", "node_count()", "0..self.n", " 0..n"];
+    let mut search = 0;
+    while let Some(rel) = f.masked[search..].find("pub fn ") {
+        let pos = search + rel;
+        search = pos + "pub fn ".len();
+        if ident_before(&f.masked, pos) {
+            continue;
+        }
+        let line = f.line_of(pos);
+        let name: String = f.masked[pos + "pub fn ".len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        // Find the body: first '{' before any ';' at this nesting level
+        // (a ';' first means a bodyless trait signature).
+        let rest = &f.masked[pos..];
+        let open_rel = match (rest.find('{'), rest.find(';')) {
+            (Some(b), Some(s)) if s < b => continue,
+            (Some(b), _) => b,
+            (None, _) => continue,
+        };
+        let open = pos + open_rel;
+        let close = matching_brace(&f.masked, open);
+        let signature = &f.masked[pos..open];
+        let body = &f.masked[open..close];
+        let loops = (body.contains("for ") || body.contains("while "))
+            && LOOP_MARKS.iter().any(|m| body.contains(m));
+        if !loops {
+            continue;
+        }
+        let guarded = signature.to_lowercase().contains("guard")
+            || body.contains("guard")
+            || body.contains("Guard");
+        if !guarded {
+            push(
+                f,
+                out,
+                GUARD_COVERAGE,
+                line,
+                format!("`pub fn {name}` loops over graph nodes without a RunGuard"),
+                SUGGESTION,
+            );
+        }
+    }
+}
+
+/// Byte offset of the `}` matching the `{` at `open` (or end of text).
+fn matching_brace(masked: &str, open: usize) -> usize {
+    let mut depth = 0usize;
+    for (off, b) in masked.bytes().enumerate().skip(open) {
+        if b == b'{' {
+            depth += 1;
+        } else if b == b'}' {
+            depth -= 1;
+            if depth == 0 {
+                return off;
+            }
+        }
+    }
+    masked.len()
+}
+
+/// `display_match`: every variant of a `pub enum *Error` must be matched in
+/// a `Display` impl in the same file (no stringly-typed error gaps).
+fn display_match(f: &SourceFile, out: &mut Vec<Finding>) {
+    const SUGGESTION: &str = "add a match arm for the variant to the enum's `Display` impl";
+    let mut search = 0;
+    while let Some(rel) = f.masked[search..].find("pub enum ") {
+        let pos = search + rel;
+        search = pos + "pub enum ".len();
+        let name: String = f.masked[pos + "pub enum ".len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !name.ends_with("Error") {
+            continue;
+        }
+        let enum_line = f.line_of(pos);
+        let Some(open_rel) = f.masked[pos..].find('{') else {
+            continue;
+        };
+        let open = pos + open_rel;
+        let close = matching_brace(&f.masked, open);
+        let variants = enum_variants(f, open, close);
+
+        let impl_body = find_display_impl(f, &name);
+        match impl_body {
+            None => push(
+                f,
+                out,
+                DISPLAY_MATCH,
+                enum_line,
+                format!("`{name}` has no `Display` impl in this file"),
+                "implement `std::fmt::Display` with one arm per variant",
+            ),
+            Some(body) => {
+                for (vline, variant) in variants {
+                    let qualified = format!("{name}::{variant}");
+                    let selfed = format!("Self::{variant}");
+                    if !body.contains(&qualified) && !body.contains(&selfed) {
+                        push(
+                            f,
+                            out,
+                            DISPLAY_MATCH,
+                            vline,
+                            format!("variant `{name}::{variant}` is not matched in `Display`"),
+                            SUGGESTION,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Collects `(line, variant_name)` pairs from a rustfmt-formatted enum body.
+fn enum_variants(f: &SourceFile, open: usize, close: usize) -> Vec<(usize, String)> {
+    let mut variants = Vec::new();
+    let first_line = f.line_of(open);
+    let last_line = f.line_of(close);
+    if first_line == last_line {
+        // Single-line enum: `pub enum E { A, B }`.
+        for part in f.masked[open + 1..close].split(',') {
+            let ident: String = part
+                .trim()
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if ident.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                variants.push((first_line, ident));
+            }
+        }
+        return variants;
+    }
+    // Multi-line: a variant is a depth-1 line starting with an uppercase
+    // identifier (field lines start lowercase, attribute lines with '#').
+    let mut depth = 0usize;
+    for line_no in first_line..=last_line {
+        let text = f.masked_line(line_no);
+        let trimmed = text.trim_start();
+        if depth == 1 {
+            let ident: String = trimmed
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if ident.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                variants.push((line_no, ident));
+            }
+        }
+        for b in text.bytes() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+    }
+    variants
+}
+
+fn find_display_impl<'a>(f: &'a SourceFile, name: &str) -> Option<&'a str> {
+    let needle = format!("Display for {name}");
+    let pos = f.masked.find(&needle)?;
+    let open = pos + f.masked[pos..].find('{')?;
+    let close = matching_brace(&f.masked, open);
+    Some(&f.masked[open..close])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn findings(src: &str, in_core: bool) -> Vec<Finding> {
+        let f = SourceFile::from_text(PathBuf::from("seed.rs"), src.to_string());
+        check_file(&f, in_core)
+    }
+
+    fn live(src: &str, in_core: bool) -> Vec<Finding> {
+        findings(src, in_core).into_iter().filter(|x| !x.waived).collect()
+    }
+
+    #[test]
+    fn seeded_unwrap_violation_fails() {
+        let out = live("pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n", false);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, NO_PANICS);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn seeded_panic_and_expect_fail() {
+        let src = "fn f() {\n    panic!(\"boom\");\n}\nfn g(x: Option<u8>) {\n    x.expect(\"live\");\n}\n";
+        let out = live(src, false);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|x| x.rule == NO_PANICS));
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_flagged() {
+        let out = live("fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or_else(|| 0)\n}\n", false);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn should_panic_attr_is_not_flagged() {
+        let out = live("#[should_panic(expected = \"x\")]\nfn f() {}\n", false);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u8>) {\n        x.unwrap();\n    }\n}\n";
+        assert!(findings(src, false).is_empty());
+    }
+
+    #[test]
+    fn waiver_suppresses_but_is_reported() {
+        let src = "fn f(x: Option<u8>) {\n    // xtask-allow: no_panics — audited invariant\n    x.unwrap();\n}\n";
+        let all = findings(src, false);
+        assert_eq!(all.len(), 1);
+        assert!(all[0].waived);
+    }
+
+    #[test]
+    fn seeded_narrowing_cast_fails() {
+        let out = live("fn f(n: usize) -> u32 {\n    n as u32\n}\n", false);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, NARROWING_CAST);
+    }
+
+    #[test]
+    fn widening_casts_are_fine() {
+        let out = live("fn f(n: u32) -> u64 {\n    let _ = n as usize;\n    n as u64\n}\n", false);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn u64_to_usize_truncation_is_flagged() {
+        let out = live("fn f(n64: u64) -> usize {\n    n64 as usize\n}\n", false);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, NARROWING_CAST);
+        // Plain u32 -> usize widening stays clean.
+        let ok = live("fn f(n: u32) -> usize {\n    n as usize\n}\n", false);
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn cast_in_string_is_ignored() {
+        let out = live("fn f() -> &'static str {\n    \"x as u32\"\n}\n", false);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn seeded_unguarded_node_loop_fails() {
+        let src = "pub fn scan(g: &Graph) -> usize {\n    let mut c = 0;\n    for u in g.nodes() {\n        c += u.index();\n    }\n    c\n}\n";
+        let out = live(src, true);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, GUARD_COVERAGE);
+        // The same source is clean outside crates/core.
+        assert!(live(src, false).is_empty());
+    }
+
+    #[test]
+    fn guarded_node_loop_passes() {
+        let src = "pub fn scan(g: &Graph, guard: &RunGuard) -> usize {\n    let mut c = 0;\n    for u in g.nodes() {\n        guard.note_settled(1);\n        c += u.index();\n    }\n    c\n}\n";
+        assert!(live(src, true).is_empty());
+    }
+
+    #[test]
+    fn delegating_wrapper_passes() {
+        let src = "pub fn scan(g: &Graph) -> usize {\n    for u in g.nodes() {\n        let _ = u;\n    }\n    scan_guarded(g, &RunGuard::noop())\n}\n";
+        assert!(live(src, true).is_empty());
+    }
+
+    #[test]
+    fn non_node_loop_passes() {
+        let src = "pub fn sum(xs: &[u64]) -> u64 {\n    let mut t = 0;\n    for x in xs {\n        t += x;\n    }\n    t\n}\n";
+        assert!(live(src, true).is_empty());
+    }
+
+    #[test]
+    fn seeded_display_gap_fails() {
+        let src = "pub enum DemoError {\n    Lost,\n    Found,\n}\nimpl std::fmt::Display for DemoError {\n    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {\n        match self {\n            DemoError::Lost => write!(f, \"lost\"),\n        }\n    }\n}\n";
+        let out = live(src, false);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, DISPLAY_MATCH);
+        assert!(out[0].message.contains("Found"));
+    }
+
+    #[test]
+    fn exhaustive_display_passes() {
+        let src = "pub enum DemoError {\n    Lost,\n    Found { name: String },\n}\nimpl std::fmt::Display for DemoError {\n    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {\n        match self {\n            DemoError::Lost => write!(f, \"lost\"),\n            DemoError::Found { name } => write!(f, \"found {name}\"),\n        }\n    }\n}\n";
+        assert!(live(src, false).is_empty());
+    }
+
+    #[test]
+    fn missing_display_impl_fails() {
+        let out = live("pub enum GapError {\n    Oops,\n}\n", false);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, DISPLAY_MATCH);
+        assert!(out[0].message.contains("no `Display` impl"));
+    }
+
+    #[test]
+    fn non_error_enums_are_ignored() {
+        let out = live("pub enum Direction {\n    Forward,\n    Reverse,\n}\n", false);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}
