@@ -22,6 +22,14 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Parallel lane: pin the worker pool to 2 threads so any serial/parallel
+# divergence shows up, then run the dedicated equivalence gate.
+echo "==> cargo test (RAYON_NUM_THREADS=2)"
+RAYON_NUM_THREADS=2 cargo test -q --workspace --release
+
+echo "==> serial/parallel equivalence gate"
+RAYON_NUM_THREADS=2 cargo test -q --release --test parallel_equivalence
+
 echo "==> xtask self-tests"
 cargo test -q --release --manifest-path xtask/Cargo.toml
 

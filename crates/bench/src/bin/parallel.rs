@@ -1,0 +1,190 @@
+//! Serial-vs-parallel benchmark: `parallel [--quick] [--out PATH]`.
+//!
+//! Measures, on the DBLP-like dataset:
+//!
+//! 1. `NeighborSets` initialization (the enumerators' initial keyword
+//!    sweeps) at 1/2/4/8 threads;
+//! 2. `ProjectionIndex` construction at 1/2/4/8 threads;
+//! 3. the [`BatchRunner`] driving a 4-keyword top-k workload at each
+//!    thread count,
+//!
+//! and writes everything — with machine metadata — to
+//! `BENCH_parallel.json` (or `--out PATH`).
+
+use comm_bench::parallel::{MachineInfo, ParallelBenchReport, SpeedupSample};
+use comm_bench::{BatchQuery, BatchRunner, Prepared, Scale};
+use comm_core::{EnginePool, NeighborSets, Parallelism, ProjectionIndex, RunGuard};
+use comm_graph::{NodeId, Weight};
+use std::time::{Duration, Instant};
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Best-of-`reps` wall clock for `f`, in milliseconds.
+fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1000.0);
+    }
+    best
+}
+
+/// One micro-benchmark axis: run `f(threads)` per sweep point and derive
+/// speedups against the 1-thread sample.
+fn sweep(name: &str, reps: usize, mut f: impl FnMut(usize)) -> Vec<SpeedupSample> {
+    let mut out = Vec::new();
+    let mut serial_ms = f64::NAN;
+    for &threads in &THREAD_SWEEP {
+        let ms = best_ms(reps, || f(threads));
+        if threads == 1 {
+            serial_ms = ms;
+        }
+        let sample = SpeedupSample {
+            name: name.to_owned(),
+            threads,
+            best_ms: ms,
+            speedup: serial_ms / ms,
+        };
+        println!(
+            "  {name:24} threads={threads}  {ms:9.2} ms  speedup {:.2}x",
+            sample.speedup
+        );
+        out.push(sample);
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_parallel.json", String::as_str);
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+
+    let t0 = Instant::now();
+    let p = Prepared::dblp(scale);
+    let graph = &p.dataset.graph.graph;
+    let n = graph.node_count();
+    let dataset = format!("dblp ({scale:?}): n={} m={}", n, graph.edge_count());
+    println!("[setup] {dataset} in {:?}", t0.elapsed());
+
+    let (kwf, l, rmax, k) = p.grid.defaults;
+    let pool = EnginePool::new();
+    let mut microbench = Vec::new();
+
+    // 1. NeighborSets init: the l initial keyword sweeps + sum/count
+    // rebuild, exactly what CommAll/CommK::start() runs.
+    let kws = p.keywords(kwf, l);
+    let seeds: Vec<Vec<NodeId>> = kws
+        .iter()
+        .map(|kw| p.dataset.graph.keyword_nodes(kw).to_vec())
+        .collect();
+    println!("[bench] neighbor_sets_init over {kws:?} (l={l}, rmax={rmax})");
+    microbench.extend(sweep("neighbor_sets_init", 3, |threads| {
+        let mut ns = NeighborSets::new(l, n);
+        ns.recompute_all(
+            graph,
+            &pool,
+            &seeds,
+            Weight::new(rmax),
+            Parallelism::new(threads),
+        );
+    }));
+
+    // 2. ProjectionIndex build over every benchmark keyword, at the grid's
+    // maximum radius — the setup cost the index pays once per dataset.
+    let entries: Vec<(&str, &[NodeId])> = p
+        .groups
+        .iter()
+        .flat_map(|g| {
+            g.keywords
+                .iter()
+                .map(|&kw| (kw, p.dataset.graph.keyword_nodes(kw)))
+        })
+        .collect();
+    let radius = Weight::new(*p.grid.rmax.last().expect("non-empty rmax grid"));
+    println!("[bench] projection_build over {} keywords", entries.len());
+    microbench.extend(sweep("projection_build", 2, |threads| {
+        let idx = ProjectionIndex::build_par_guarded(
+            graph,
+            entries.iter().copied(),
+            radius,
+            &RunGuard::unlimited(),
+            &pool,
+            Parallelism::new(threads),
+        )
+        // xtask-allow: no_panics — bench binary, unlimited guard never trips
+        .expect("unlimited build");
+        std::hint::black_box(idx.keyword_count());
+    }));
+
+    // 3. The batch driver: every KWF bucket's 4-keyword query, replicated
+    // to a steady workload, at each thread count.
+    let mut queries = Vec::new();
+    let replicas = if quick { 2 } else { 4 };
+    for round in 0..replicas {
+        for &bucket_kwf in p.grid.kwf {
+            let kws = p.keywords(bucket_kwf, 4);
+            queries.push(BatchQuery {
+                label: format!("r{round}-kwf{bucket_kwf}-{}", kws.join("+")),
+                keyword_nodes: kws
+                    .iter()
+                    .map(|kw| p.dataset.graph.keyword_nodes(kw).to_vec())
+                    .collect(),
+                rmax,
+                k,
+            });
+        }
+    }
+    println!(
+        "[bench] batch driver: {} 4-keyword queries, k={k}",
+        queries.len()
+    );
+    let mut batches = Vec::new();
+    for &threads in &THREAD_SWEEP {
+        let report = BatchRunner::new(Parallelism::new(threads))
+            .with_deadline(Duration::from_secs(60))
+            .run(graph, &queries);
+        println!(
+            "  batch threads={threads}  wall {:9.2} ms  {:.2} q/s  p50 {:.0} µs  p99 {:.0} µs  ({} ok / {} int / {} bad)",
+            report.wall_ms,
+            report.qps,
+            report.latency.p50_us,
+            report.latency.p99_us,
+            report.completed,
+            report.interrupted,
+            report.invalid
+        );
+        batches.push(report);
+    }
+    if let (Some(serial), Some(four)) = (
+        batches.iter().find(|b| b.threads == 1),
+        batches.iter().find(|b| b.threads == 4),
+    ) {
+        println!(
+            "[summary] 4-keyword batch speedup at 4 threads: {:.2}x",
+            serial.wall_ms / four.wall_ms
+        );
+    }
+
+    let report = ParallelBenchReport {
+        machine: MachineInfo::capture(),
+        dataset,
+        microbench,
+        batches,
+    };
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(out_path, json) {
+                eprintln!("warning: could not write {out_path}: {e}");
+            } else {
+                println!("[done] wrote {out_path} in {:?}", t0.elapsed());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize report: {e}"),
+    }
+}

@@ -6,8 +6,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod parallel;
 pub mod setup;
 pub mod table;
 
+pub use parallel::{BatchQuery, BatchReport, BatchRunner, LatencyStats, MachineInfo};
 pub use setup::{Prepared, Scale};
 pub use table::Table;

@@ -12,10 +12,17 @@
 //!
 //! Ctrl-C during a query flips the session's cancel flag: the in-flight
 //! enumeration unwinds through its `RunGuard` and the REPL keeps going.
+//!
+//! A non-interactive batch mode runs a concurrent benchmark workload:
+//!
+//! ```bash
+//! cargo run --release -p comm-cli --bin comm-explore -- batch --quick --threads 4
+//! ```
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod commands;
 mod session;
 
@@ -61,6 +68,12 @@ mod sigint {
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("batch") {
+        let cancel = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        sigint::install(std::sync::Arc::clone(&cancel));
+        std::process::exit(batch::run(&argv[1..], cancel));
+    }
     let mut session = Session::new();
     sigint::install(session.cancel_flag());
     let stdin = std::io::stdin();

@@ -17,7 +17,10 @@ use crate::error::QueryError;
 use crate::get_community::get_community_guarded;
 use crate::neighbor::NeighborSets;
 use crate::types::{Community, Core, CostFn, QuerySpec};
-use comm_graph::{DijkstraEngine, Graph, InterruptReason, NodeId, Outcome, RunGuard, Weight};
+use comm_graph::{
+    DijkstraEngine, EnginePool, Graph, InterruptReason, NodeId, Outcome, Parallelism, RunGuard,
+    Weight,
+};
 use std::collections::BTreeSet;
 
 /// Polynomial-delay iterator over all communities of an l-keyword query.
@@ -49,6 +52,8 @@ pub struct CommAll<'g> {
     peak_bytes: usize,
     started: bool,
     guard: RunGuard,
+    /// Thread count for the initial keyword sweeps (default: serial).
+    parallelism: Parallelism,
     /// Set once the guard trips; the iterator then yields `None` forever.
     interrupted: Option<InterruptReason>,
 }
@@ -77,6 +82,7 @@ impl<'g> CommAll<'g> {
             peak_bytes: 0,
             started: false,
             guard: RunGuard::unlimited(),
+            parallelism: Parallelism::serial(),
             interrupted: None,
         }
     }
@@ -86,6 +92,17 @@ impl<'g> CommAll<'g> {
     pub fn try_new(graph: &'g Graph, spec: &QuerySpec) -> Result<CommAll<'g>, QueryError> {
         spec.validate_for(graph)?;
         Ok(CommAll::new(graph, spec))
+    }
+
+    /// Sets the thread count for the `l` initial `Neighbor(V_i, Rmax)`
+    /// sweeps, which are data-independent. The enumeration output is
+    /// bit-identical for every thread count (see
+    /// [`NeighborSets::recompute_all_guarded`]); the per-community DFS
+    /// recomputations stay sequential because each depends on the previous
+    /// subspace. Default: [`Parallelism::serial`].
+    pub fn with_parallelism(mut self, par: Parallelism) -> CommAll<'g> {
+        self.parallelism = par;
+        self
     }
 
     /// Attaches an execution governor. The guard is consulted per settled
@@ -146,12 +163,23 @@ impl<'g> CommAll<'g> {
     }
 
     /// Lines 1–5 of Algorithm 1: initialize `S_i = V_i`, compute all
-    /// neighbor sets, and find the first best core.
+    /// neighbor sets (fanned out per [`with_parallelism`](Self::with_parallelism)),
+    /// and find the first best core.
     fn start(&mut self) -> Result<(), InterruptReason> {
         self.started = true;
-        for i in 0..self.l {
-            self.recompute_from_s(i)?;
-        }
+        let seeds: Vec<Vec<NodeId>> = self
+            .s_sets
+            .iter()
+            .map(|s| s.iter().copied().collect())
+            .collect();
+        self.ns.recompute_all_guarded(
+            self.graph,
+            EnginePool::global(),
+            &seeds,
+            self.rmax,
+            &self.guard,
+            self.parallelism,
+        )?;
         self.pending = self.ns.best_core_with(self.cost_fn).map(|b| b.core);
         self.track_memory()
     }

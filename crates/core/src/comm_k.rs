@@ -27,7 +27,10 @@ use crate::neighbor::NeighborSets;
 use crate::types::{Community, Core, CostFn, QuerySpec};
 use comm_fibheap::FibHeap;
 use comm_graph::weight::index_to_u32;
-use comm_graph::{DijkstraEngine, Graph, InterruptReason, NodeId, Outcome, RunGuard, Weight};
+use comm_graph::{
+    DijkstraEngine, EnginePool, Graph, InterruptReason, NodeId, Outcome, Parallelism, RunGuard,
+    Weight,
+};
 use std::collections::BTreeSet;
 
 /// One entry of the can-list: the paper's can-tuple `(C, cost, pos, prev)`.
@@ -77,6 +80,8 @@ pub struct CommK<'g> {
     peak_bytes: usize,
     started: bool,
     guard: RunGuard,
+    /// Thread count for the initial keyword sweeps (default: serial).
+    parallelism: Parallelism,
     /// Set once the guard trips; the iterator then yields `None` forever.
     interrupted: Option<InterruptReason>,
 }
@@ -101,8 +106,19 @@ impl<'g> CommK<'g> {
             peak_bytes: 0,
             started: false,
             guard: RunGuard::unlimited(),
+            parallelism: Parallelism::serial(),
             interrupted: None,
         }
+    }
+
+    /// Sets the thread count for the `l` initial keyword sweeps; see
+    /// [`CommAll::with_parallelism`] — output is bit-identical for every
+    /// thread count. Default: [`Parallelism::serial`].
+    ///
+    /// [`CommAll::with_parallelism`]: crate::CommAll::with_parallelism
+    pub fn with_parallelism(mut self, par: Parallelism) -> CommK<'g> {
+        self.parallelism = par;
+        self
     }
 
     /// Like [`new`](Self::new), but validates the spec against the graph
@@ -181,13 +197,26 @@ impl<'g> CommK<'g> {
         self.heap.push(key, idx);
     }
 
-    /// Lines 1–6: find the best core of the full space and enheap it.
+    /// Lines 1–6: find the best core of the full space and enheap it. The
+    /// `l` initial sweeps fan out per [`with_parallelism`](Self::with_parallelism).
     fn start(&mut self) -> Result<(), InterruptReason> {
         self.started = true;
         for i in 0..self.l {
             self.s_sets[i] = self.v_sets[i].iter().copied().collect();
-            self.recompute_from_s(i)?;
         }
+        let seeds: Vec<Vec<NodeId>> = self
+            .s_sets
+            .iter()
+            .map(|s| s.iter().copied().collect())
+            .collect();
+        self.ns.recompute_all_guarded(
+            self.graph,
+            EnginePool::global(),
+            &seeds,
+            self.rmax,
+            &self.guard,
+            self.parallelism,
+        )?;
         if let Some(best) = self.ns.best_core_with(self.cost_fn) {
             self.enheap(CanTuple {
                 core: best.core,

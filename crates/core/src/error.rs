@@ -17,6 +17,16 @@ use std::fmt;
 pub enum QueryError {
     /// The query has zero keywords (`l == 0`).
     NoKeywords,
+    /// The query has more keywords than the engine's per-node `u8`
+    /// dimension counters support (`l > MAX_KEYWORDS`).
+    ///
+    /// [`MAX_KEYWORDS`]: crate::MAX_KEYWORDS
+    TooManyKeywords {
+        /// The number of keywords requested.
+        l: usize,
+        /// The supported maximum ([`crate::MAX_KEYWORDS`]).
+        max: usize,
+    },
     /// `rmax` is NaN, negative, or non-finite.
     InvalidRadius(f64),
     /// A keyword node set references a node outside the graph.
@@ -48,6 +58,12 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::NoKeywords => write!(f, "query has no keywords (l = 0)"),
+            QueryError::TooManyKeywords { l, max } => {
+                write!(
+                    f,
+                    "query has {l} keywords; the engine supports at most {max}"
+                )
+            }
             QueryError::InvalidRadius(r) => {
                 write!(f, "query radius must be finite and non-negative, got {r}")
             }
@@ -113,6 +129,10 @@ mod tests {
     fn every_variant_displays_its_context() {
         let cases: Vec<(QueryError, &str)> = vec![
             (QueryError::NoKeywords, "no keywords"),
+            (
+                QueryError::TooManyKeywords { l: 300, max: 255 },
+                "at most 255",
+            ),
             (QueryError::InvalidRadius(-1.5), "-1.5"),
             (
                 QueryError::NodeOutOfRange {

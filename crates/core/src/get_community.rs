@@ -17,7 +17,10 @@
 use crate::error::{validate_radius, QueryError};
 use crate::types::{Community, Core, CostFn};
 use comm_graph::weight::index_to_u32;
-use comm_graph::{DijkstraEngine, Direction, Graph, InterruptReason, NodeId, RunGuard, Weight};
+use comm_graph::{
+    DijkstraEngine, Direction, EnginePool, Graph, InterruptReason, NodeId, Parallelism,
+    PooledEngine, RunGuard, Weight,
+};
 
 /// Materializes the community uniquely determined by `core`, costing it
 /// with the paper's default sum cost.
@@ -109,6 +112,100 @@ pub fn get_community_guarded(
             count[u] += multiplicity;
         })?;
     }
+    finish_from_accumulators(
+        graph, engine, core, distinct, &sum, &maxd, &count, rmax, cost_fn, guard,
+    )
+}
+
+/// [`get_community_guarded`] with the per-knode center sweeps of step 1
+/// fanned out across `par`'s workers, each borrowing an engine from
+/// `pool`. Per-knode distance arrays are merged in the sorted
+/// distinct-knode order the serial loop visits, so the accumulated
+/// `sum`/`maxd`/`count` — and the resulting community — are bit-identical
+/// to the serial path for every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn get_community_par_guarded(
+    graph: &Graph,
+    pool: &EnginePool,
+    core: &Core,
+    rmax: Weight,
+    cost_fn: CostFn,
+    guard: &RunGuard,
+    par: Parallelism,
+) -> Result<Option<Community>, InterruptReason> {
+    let n = graph.node_count();
+    let distinct = core.distinct_nodes();
+    if par.is_serial() || distinct.len() == 1 {
+        let mut engine = pool.acquire(n);
+        return get_community_guarded(graph, &mut engine, core, rmax, cost_fn, guard);
+    }
+    // Step 1, parallel: one truncated reverse sweep per distinct knode
+    // into its own distance array.
+    let sweep_tasks: Vec<_> = distinct
+        .iter()
+        .map(|&c| {
+            move |engine: &mut PooledEngine<'_>| -> Result<Vec<Weight>, InterruptReason> {
+                let mut d = vec![Weight::INFINITY; n];
+                engine.run_guarded(graph, Direction::Reverse, [c], rmax, guard, |s| {
+                    d[s.node.index()] = s.dist;
+                })?;
+                Ok(d)
+            }
+        })
+        .collect();
+    let mut per_knode: Vec<Vec<Weight>> = Vec::with_capacity(distinct.len());
+    for swept in par.map_init(|| pool.acquire(n), sweep_tasks) {
+        per_knode.push(swept?);
+    }
+    // Merge in distinct order — the exact serial accumulation order.
+    let mut sum = vec![0.0f64; n];
+    let mut maxd = vec![Weight::ZERO; n];
+    let mut count = vec![0usize; n];
+    for (&c, d) in distinct.iter().zip(&per_knode) {
+        let multiplicity = core.0.iter().filter(|&&x| x == c).count();
+        for u in 0..n {
+            if d[u].is_finite() {
+                sum[u] += d[u].get() * multiplicity as f64;
+                if d[u] > maxd[u] {
+                    maxd[u] = d[u];
+                }
+                count[u] += multiplicity;
+            }
+        }
+    }
+    let mut engine = pool.acquire(n);
+    finish_from_accumulators(
+        graph,
+        &mut engine,
+        core,
+        distinct,
+        &sum,
+        &maxd,
+        &count,
+        rmax,
+        cost_fn,
+        guard,
+    )
+}
+
+/// Steps 1b–3 of Algorithm 4, shared by the serial and parallel paths:
+/// scan the accumulators for centers, then run the forward/backward
+/// double sweep and assemble the community.
+#[allow(clippy::too_many_arguments)]
+fn finish_from_accumulators(
+    graph: &Graph,
+    engine: &mut DijkstraEngine,
+    core: &Core,
+    distinct: Vec<NodeId>,
+    sum: &[f64],
+    maxd: &[Weight],
+    count: &[usize],
+    rmax: Weight,
+    cost_fn: CostFn,
+    guard: &RunGuard,
+) -> Result<Option<Community>, InterruptReason> {
+    let n = graph.node_count();
+    let l = core.len();
     let mut centers: Vec<NodeId> = Vec::new();
     let mut cost = Weight::INFINITY;
     for u in 0..n {
@@ -293,6 +390,71 @@ mod tests {
         let small = comm(&[13, 8, 11], 6.0).unwrap();
         assert_eq!(small.centers, vec![NodeId(11)]);
         assert!(small.node_count() <= big.node_count());
+    }
+
+    #[test]
+    fn parallel_step1_matches_serial_exactly() {
+        let g = fig4_graph();
+        let pool = EnginePool::new();
+        let mut eng = DijkstraEngine::new(g.node_count());
+        let cores: [&[u32]; 4] = [&[13, 8, 11], &[4, 8, 6], &[6, 6], &[13, 2, 9]];
+        for ids in cores {
+            let core = Core(ids.iter().map(|&c| NodeId(c)).collect());
+            for cost_fn in [CostFn::SumDistances, CostFn::MaxDistance] {
+                let serial = get_community_guarded(
+                    &g,
+                    &mut eng,
+                    &core,
+                    Weight::new(FIG4_RMAX),
+                    cost_fn,
+                    &RunGuard::unlimited(),
+                )
+                .unwrap();
+                for threads in [1usize, 2, 4] {
+                    let par = get_community_par_guarded(
+                        &g,
+                        &pool,
+                        &core,
+                        Weight::new(FIG4_RMAX),
+                        cost_fn,
+                        &RunGuard::unlimited(),
+                        Parallelism::new(threads),
+                    )
+                    .unwrap();
+                    match (&serial, &par) {
+                        (None, None) => {}
+                        (Some(a), Some(b)) => {
+                            assert_eq!(a.core, b.core, "core {ids:?} threads={threads}");
+                            assert_eq!(a.cost, b.cost, "cost {ids:?} threads={threads}");
+                            assert_eq!(a.centers, b.centers);
+                            assert_eq!(a.knodes, b.knodes);
+                            assert_eq!(a.path_nodes, b.path_nodes);
+                            assert_eq!(a.nodes(), b.nodes());
+                            assert_eq!(a.edge_count(), b.edge_count());
+                        }
+                        _ => panic!("serial/parallel disagree on {ids:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_step1_respects_guard() {
+        let g = fig4_graph();
+        let pool = EnginePool::new();
+        let core = Core(vec![NodeId(13), NodeId(8), NodeId(11)]);
+        let err = get_community_par_guarded(
+            &g,
+            &pool,
+            &core,
+            Weight::new(FIG4_RMAX),
+            CostFn::SumDistances,
+            &RunGuard::new().with_settled_budget(1),
+            Parallelism::new(4),
+        )
+        .unwrap_err();
+        assert_eq!(err, InterruptReason::SettledBudgetExhausted);
     }
 
     #[test]

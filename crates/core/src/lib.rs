@@ -28,6 +28,17 @@
 //! return [`Outcome::Interrupted`] carrying the communities emitted before
 //! the trip, always an exact prefix of the unguarded enumeration.
 //!
+//! # Parallel execution
+//!
+//! The enumerators' initial keyword sweeps
+//! ([`CommAll::with_parallelism`] / [`CommK::with_parallelism`]), index
+//! construction ([`ProjectionIndex::build_par_guarded`]), and community
+//! materialization ([`get_community_par_guarded`]) can fan work across a
+//! [`Parallelism`] thread pool, borrowing Dijkstra scratch state from an
+//! [`EnginePool`]. Every parallel path honors the shared [`RunGuard`] and
+//! produces bit-identical results to the serial path for every thread
+//! count.
+//!
 //! # Quickstart
 //! ```
 //! use comm_core::{comm_k, QuerySpec};
@@ -65,15 +76,17 @@ pub use comm_all::{comm_all, comm_all_guarded, try_comm_all, CommAll};
 pub use comm_k::{comm_k, comm_k_guarded, try_comm_k, CommK};
 pub use error::QueryError;
 pub use get_community::{
-    get_community, get_community_guarded, get_community_with, try_get_community,
+    get_community, get_community_guarded, get_community_par_guarded, get_community_with,
+    try_get_community,
 };
 pub use lawler::LawlerK;
-pub use neighbor::{BestCore, NeighborSets};
+pub use neighbor::{BestCore, NeighborSets, MAX_KEYWORDS};
 pub use projection::{ProjectedQuery, ProjectionIndex};
 pub use types::{Community, Core, CostFn, QuerySpec};
 pub use verify::{
     check_community, check_enumeration, check_ranking, check_topk_prefix, CertificationError,
 };
 
-// Re-export the guard vocabulary so downstream users need only this crate.
-pub use comm_graph::{InterruptReason, Outcome, RunGuard};
+// Re-export the guard and parallelism vocabulary so downstream users need
+// only this crate.
+pub use comm_graph::{EnginePool, InterruptReason, Outcome, Parallelism, PooledEngine, RunGuard};

@@ -8,11 +8,23 @@
 //! incrementally, so the bookkeeping adds no asymptotic cost on top of
 //! Dijkstra, exactly as claimed in Sec. IV-A.
 
+use crate::error::QueryError;
 use crate::types::{Core, CostFn};
 use comm_graph::weight::index_to_u32;
-use comm_graph::{DijkstraEngine, Direction, Graph, InterruptReason, NodeId, RunGuard, Weight};
+use comm_graph::{
+    DijkstraEngine, Direction, EnginePool, Graph, InterruptReason, NodeId, Parallelism,
+    PooledEngine, RunGuard, Weight,
+};
 
 const NO_SRC: u32 = u32::MAX;
+
+/// Maximum keyword dimensions per query: the per-node dimension counters
+/// are `u8`, so `l` must fit in one byte.
+pub const MAX_KEYWORDS: usize = u8::MAX as usize;
+
+/// Node-range granularity of the parallel `sum`/`count` rebuild in
+/// [`NeighborSets::recompute_all_guarded`].
+const REBUILD_CHUNK: usize = 4096;
 
 /// The best core found by a `BestCore()` scan.
 #[derive(Clone, Debug, PartialEq)]
@@ -44,9 +56,29 @@ pub struct NeighborSets {
 
 impl NeighborSets {
     /// Creates empty neighbor sets for `l` keywords over `n` nodes.
+    ///
+    /// # Panics
+    /// If `l` is zero or exceeds [`MAX_KEYWORDS`] — a caller bug by this
+    /// function's contract. [`try_new`](Self::try_new) is the fallible
+    /// path the `try_*` query APIs use.
     pub fn new(l: usize, n: usize) -> NeighborSets {
-        assert!(l > 0 && l <= u8::MAX as usize, "need 1 ≤ l ≤ 255 keywords");
-        NeighborSets {
+        // xtask-allow: no_panics — documented caller contract; try_new is the fallible path
+        Self::try_new(l, n).expect("need 1 ≤ l ≤ 255 keywords")
+    }
+
+    /// Like [`new`](Self::new), reporting an out-of-range keyword count as
+    /// a [`QueryError`] instead of panicking.
+    pub fn try_new(l: usize, n: usize) -> Result<NeighborSets, QueryError> {
+        if l == 0 {
+            return Err(QueryError::NoKeywords);
+        }
+        if l > MAX_KEYWORDS {
+            return Err(QueryError::TooManyKeywords {
+                l,
+                max: MAX_KEYWORDS,
+            });
+        }
+        Ok(NeighborSets {
             l,
             n,
             dist: vec![Weight::INFINITY; l * n],
@@ -54,7 +86,7 @@ impl NeighborSets {
             sum: vec![Weight::ZERO; n],
             count: vec![0; n],
             sweeps: 0,
-        }
+        })
     }
 
     /// Total `Neighbor()` sweeps run so far.
@@ -77,6 +109,18 @@ impl NeighborSets {
     pub fn src(&self, i: usize, u: NodeId) -> Option<NodeId> {
         let s = self.src[i * self.n + u.index()];
         (s != NO_SRC).then_some(NodeId(s))
+    }
+
+    /// `u.sum`: the accumulated distance `Σ_i min(N_i, u)` over the
+    /// dimensions where `u ∈ N_i` (the `BestCore()` accumulator).
+    pub fn sum(&self, u: NodeId) -> Weight {
+        self.sum[u.index()]
+    }
+
+    /// `u.count`: in how many neighbor sets `u` appears (`u` is a center
+    /// candidate iff `count == l`).
+    pub fn count(&self, u: NodeId) -> usize {
+        usize::from(self.count[u.index()])
     }
 
     /// The nodes of `N_i` (mainly for tests; `O(n)`).
@@ -150,6 +194,112 @@ impl NeighborSets {
             count[u] += 1;
         })?;
         Ok(())
+    }
+
+    /// Recomputes every dimension at once — dimension `i` as
+    /// `Neighbor(G_D, seeds[i], rmax)` — with the `l` sweeps fanned out
+    /// across `par`'s workers, each borrowing an engine from `pool`.
+    ///
+    /// The sweeps are data-independent (each writes only its own
+    /// dimension-major `dist`/`src` slice), so after they finish the
+    /// `sum`/`count` bookkeeping is rebuilt from zero, per node, in
+    /// dimension order `0..l`. That fixed floating-point addition order
+    /// makes the resulting table **bit-identical for every thread count**,
+    /// and — on a fresh table — bit-identical to the serial
+    /// [`recompute_dim_guarded`](Self::recompute_dim_guarded) loop the
+    /// enumerators historically ran (the property tests assert this).
+    ///
+    /// `seeds.len()` must equal `l`. On interruption the table is left
+    /// partially refilled — callers must abandon the enumeration, exactly
+    /// as for an interrupted `recompute_dim_guarded`.
+    pub fn recompute_all_guarded(
+        &mut self,
+        graph: &Graph,
+        pool: &EnginePool,
+        seeds: &[Vec<NodeId>],
+        rmax: Weight,
+        guard: &RunGuard,
+        par: Parallelism,
+    ) -> Result<(), InterruptReason> {
+        debug_assert_eq!(seeds.len(), self.l);
+        self.sweeps += self.l;
+        let n = self.n;
+        let l = self.l;
+        // Phase 1: fill each dimension's dist/src slice independently.
+        let sweep_tasks: Vec<_> = self
+            .dist
+            .chunks_mut(n)
+            .zip(self.src.chunks_mut(n))
+            .zip(seeds)
+            .map(|((dist, src), dim_seeds)| {
+                move |engine: &mut PooledEngine<'_>| -> Result<(), InterruptReason> {
+                    dist.fill(Weight::INFINITY);
+                    src.fill(NO_SRC);
+                    engine.run_guarded(
+                        graph,
+                        Direction::Reverse,
+                        dim_seeds.iter().copied(),
+                        rmax,
+                        guard,
+                        |s| {
+                            dist[s.node.index()] = s.dist;
+                            src[s.node.index()] = s.source.0;
+                        },
+                    )?;
+                    Ok(())
+                }
+            })
+            .collect();
+        for swept in par.map_init(|| pool.acquire(n), sweep_tasks) {
+            swept?;
+        }
+        // Phase 2: rebuild sum/count from zero in dimension order. Chunked
+        // over node ranges so the reduction parallelizes too; the per-node
+        // addition order is 0..l regardless of chunking or thread count.
+        let dist = &self.dist;
+        let rebuild_tasks: Vec<_> = self
+            .sum
+            .chunks_mut(REBUILD_CHUNK)
+            .zip(self.count.chunks_mut(REBUILD_CHUNK))
+            .enumerate()
+            .map(|(chunk_idx, (sum, count))| {
+                move || {
+                    let base = chunk_idx * REBUILD_CHUNK;
+                    for (off, (total, cnt)) in sum.iter_mut().zip(count.iter_mut()).enumerate() {
+                        let u = base + off;
+                        let mut acc = Weight::ZERO;
+                        // count fits u8: the constructor caps l at MAX_KEYWORDS.
+                        let mut finite: u8 = 0;
+                        for i in 0..l {
+                            let d = dist[i * n + u];
+                            if d.is_finite() {
+                                acc += d;
+                                finite += 1;
+                            }
+                        }
+                        *total = acc;
+                        *cnt = finite;
+                    }
+                }
+            })
+            .collect();
+        par.map(rebuild_tasks);
+        Ok(())
+    }
+
+    /// [`recompute_all_guarded`](Self::recompute_all_guarded) without
+    /// execution limits.
+    pub fn recompute_all(
+        &mut self,
+        graph: &Graph,
+        pool: &EnginePool,
+        seeds: &[Vec<NodeId>],
+        rmax: Weight,
+        par: Parallelism,
+    ) {
+        self.recompute_all_guarded(graph, pool, seeds, rmax, &RunGuard::unlimited(), par)
+            // xtask-allow: no_panics — an unlimited guard can never interrupt the sweep
+            .expect("unlimited guard never trips")
     }
 
     /// `BestCore()` (Algorithm 3) under the paper's sum cost: scans
@@ -323,5 +473,67 @@ mod tests {
         let a = NeighborSets::new(2, 100).byte_size();
         let b = NeighborSets::new(4, 100).byte_size();
         assert!(b > a);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_keyword_counts() {
+        assert!(matches!(
+            NeighborSets::try_new(0, 10),
+            Err(QueryError::NoKeywords)
+        ));
+        assert!(matches!(
+            NeighborSets::try_new(MAX_KEYWORDS + 1, 10),
+            Err(QueryError::TooManyKeywords { l, max })
+                if l == MAX_KEYWORDS + 1 && max == MAX_KEYWORDS
+        ));
+        assert!(NeighborSets::try_new(MAX_KEYWORDS, 10).is_ok());
+    }
+
+    #[test]
+    fn recompute_all_matches_serial_dim_loop_bitwise() {
+        let g = fig4();
+        let pool = EnginePool::new();
+        let r = Weight::new(8.0);
+        let seeds = v_sets();
+        // The historical path: one recompute_dim per dimension, in order.
+        let mut legacy = NeighborSets::new(3, g.node_count());
+        let mut eng = DijkstraEngine::new(g.node_count());
+        for (i, set) in seeds.clone().into_iter().enumerate() {
+            legacy.recompute_dim(&g, &mut eng, i, set, r);
+        }
+        for threads in [1usize, 2, 4, 8] {
+            let mut fanned = NeighborSets::new(3, g.node_count());
+            fanned.recompute_all(&g, &pool, &seeds, r, Parallelism::new(threads));
+            assert_eq!(fanned.dist, legacy.dist, "dist, threads={threads}");
+            assert_eq!(fanned.src, legacy.src, "src, threads={threads}");
+            assert_eq!(fanned.sum, legacy.sum, "sum, threads={threads}");
+            assert_eq!(fanned.count, legacy.count, "count, threads={threads}");
+            assert_eq!(fanned.sweeps(), legacy.sweeps());
+            assert_eq!(fanned.best_core(), legacy.best_core());
+        }
+        // Engines were parked back in the pool after the fan-out.
+        assert!(pool.pooled_engines() >= 1);
+    }
+
+    #[test]
+    fn recompute_all_respects_guard() {
+        let g = fig4();
+        let pool = EnginePool::new();
+        let seeds = v_sets();
+        for threads in [1usize, 4] {
+            let mut ns = NeighborSets::new(3, g.node_count());
+            let tripping = RunGuard::new().with_settled_budget(2);
+            let err = ns
+                .recompute_all_guarded(
+                    &g,
+                    &pool,
+                    &seeds,
+                    Weight::new(8.0),
+                    &tripping,
+                    Parallelism::new(threads),
+                )
+                .unwrap_err();
+            assert_eq!(err, InterruptReason::SettledBudgetExhausted);
+        }
     }
 }

@@ -21,8 +21,8 @@ use crate::error::{validate_radius, QueryError};
 use crate::types::QuerySpec;
 use comm_graph::weight::index_to_u32;
 use comm_graph::{
-    DijkstraEngine, Direction, Graph, GraphBuilder, InducedGraph, InterruptReason, NodeId,
-    RunGuard, Weight,
+    DijkstraEngine, Direction, EnginePool, Graph, GraphBuilder, InducedGraph, InterruptReason,
+    NodeId, Parallelism, PooledEngine, RunGuard, Weight,
 };
 use std::collections::HashMap;
 
@@ -33,6 +33,46 @@ struct KeywordEntry {
     nodes: Vec<NodeId>,
     /// Edges `(u, v, w)` with both endpoints within `R` of `V_w`.
     edges: Vec<(NodeId, NodeId, Weight)>,
+}
+
+/// Builds the inverted entry of one keyword: `V_w` (sorted, deduplicated)
+/// plus every edge whose endpoints both lie within `radius` of `V_w`.
+/// `stamp`/`epoch` are the caller's reusable membership scratch.
+fn keyword_entry(
+    graph: &Graph,
+    engine: &mut DijkstraEngine,
+    stamp: &mut [u32],
+    epoch: &mut u32,
+    v_w: &[NodeId],
+    radius: Weight,
+    guard: &RunGuard,
+) -> Result<KeywordEntry, InterruptReason> {
+    let mut nodes: Vec<NodeId> = v_w.to_vec();
+    nodes.sort_unstable();
+    nodes.dedup();
+    *epoch += 1;
+    let e = *epoch;
+    let mut reached: Vec<NodeId> = Vec::new();
+    engine.run_guarded(
+        graph,
+        Direction::Reverse,
+        nodes.iter().copied(),
+        radius,
+        guard,
+        |s| {
+            stamp[s.node.index()] = e;
+            reached.push(s.node);
+        },
+    )?;
+    let mut edges = Vec::new();
+    for &u in &reached {
+        for (v, w) in graph.out_neighbors(u) {
+            if stamp[v.index()] == e {
+                edges.push((u, v, w));
+            }
+        }
+    }
+    Ok(KeywordEntry { nodes, edges })
 }
 
 /// The two inverted indexes of Sec. VI, plus the projection operation.
@@ -83,31 +123,59 @@ impl ProjectionIndex {
         let mut stamp = vec![0u32; n];
         let mut epoch = 0u32;
         for (kw, v_w) in keywords {
-            let mut nodes: Vec<NodeId> = v_w.to_vec();
-            nodes.sort_unstable();
-            nodes.dedup();
-            epoch += 1;
-            let mut reached: Vec<NodeId> = Vec::new();
-            engine.run_guarded(
+            let entry = keyword_entry(
                 graph,
-                Direction::Reverse,
-                nodes.iter().copied(),
+                &mut engine,
+                &mut stamp,
+                &mut epoch,
+                v_w,
                 radius,
                 guard,
-                |s| {
-                    stamp[s.node.index()] = epoch;
-                    reached.push(s.node);
-                },
             )?;
-            let mut edges = Vec::new();
-            for &u in &reached {
-                for (v, w) in graph.out_neighbors(u) {
-                    if stamp[v.index()] == epoch {
-                        edges.push((u, v, w));
-                    }
+            entries.insert(kw.to_lowercase(), entry);
+        }
+        Ok(ProjectionIndex {
+            radius,
+            entries,
+            node_count: n,
+        })
+    }
+
+    /// [`build_guarded`](Self::build_guarded) with one task per keyword
+    /// fanned out across `par`'s workers, each borrowing a Dijkstra engine
+    /// from `pool` plus its own stamp scratch. Per-keyword entries are
+    /// independent, so the resulting index is identical to the serial build
+    /// for every thread count.
+    pub fn build_par_guarded<'a>(
+        graph: &Graph,
+        keywords: impl IntoIterator<Item = (&'a str, &'a [NodeId])>,
+        radius: Weight,
+        guard: &RunGuard,
+        pool: &EnginePool,
+        par: Parallelism,
+    ) -> Result<ProjectionIndex, InterruptReason> {
+        if par.is_serial() {
+            return Self::build_guarded(graph, keywords, radius, guard);
+        }
+        let n = graph.node_count();
+        let tasks: Vec<_> = keywords
+            .into_iter()
+            .map(|(kw, v_w)| {
+                type Scratch<'p> = (PooledEngine<'p>, Vec<u32>, u32);
+                move |(engine, stamp, epoch): &mut Scratch<'_>| -> Result<
+                    (String, KeywordEntry),
+                    InterruptReason,
+                > {
+                    let entry = keyword_entry(graph, engine, stamp, epoch, v_w, radius, guard)?;
+                    Ok((kw.to_lowercase(), entry))
                 }
-            }
-            entries.insert(kw.to_lowercase(), KeywordEntry { nodes, edges });
+            })
+            .collect();
+        let built = par.map_init(|| (pool.acquire(n), vec![0u32; n], 0u32), tasks);
+        let mut entries = HashMap::new();
+        for kv in built {
+            let (kw, entry) = kv?;
+            entries.insert(kw, entry);
         }
         Ok(ProjectionIndex {
             radius,
@@ -489,6 +557,54 @@ mod tests {
             ))
         ));
         assert!(idx.try_project(&["a", "b"], Weight::new(6.0), &g).is_ok());
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let g = fig4_graph();
+        let kn = fig4_keyword_nodes();
+        let kws = [
+            ("a", kn[0].as_slice()),
+            ("b", kn[1].as_slice()),
+            ("c", kn[2].as_slice()),
+        ];
+        let serial = ProjectionIndex::build(&g, kws, Weight::new(8.0));
+        let pool = EnginePool::new();
+        for threads in [1usize, 2, 4] {
+            let par = ProjectionIndex::build_par_guarded(
+                &g,
+                kws,
+                Weight::new(8.0),
+                &RunGuard::unlimited(),
+                &pool,
+                Parallelism::new(threads),
+            )
+            .unwrap();
+            assert_eq!(par.keyword_count(), serial.keyword_count());
+            assert_eq!(par.radius(), serial.radius());
+            assert_eq!(par.byte_size(), serial.byte_size());
+            for kw in ["a", "b", "c"] {
+                assert_eq!(par.nodes_of(kw), serial.nodes_of(kw), "nodes of {kw}");
+                assert_eq!(par.edges_of(kw), serial.edges_of(kw), "edges of {kw}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_respects_guard() {
+        let g = fig4_graph();
+        let kn = fig4_keyword_nodes();
+        let kws = [("a", kn[0].as_slice()), ("b", kn[1].as_slice())];
+        let pool = EnginePool::new();
+        let tripped = ProjectionIndex::build_par_guarded(
+            &g,
+            kws,
+            Weight::new(8.0),
+            &RunGuard::new().with_settled_budget(2),
+            &pool,
+            Parallelism::new(2),
+        );
+        assert_eq!(tripped.err(), Some(InterruptReason::SettledBudgetExhausted));
     }
 
     #[test]

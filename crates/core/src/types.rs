@@ -1,6 +1,7 @@
 //! Shared types: queries, cores, and communities.
 
 use crate::error::{validate_nodes, validate_radius, QueryError};
+use crate::neighbor::MAX_KEYWORDS;
 use comm_graph::{Graph, InducedGraph, NodeId, Weight};
 use std::fmt;
 
@@ -50,6 +51,18 @@ pub struct QuerySpec {
     pub cost: CostFn,
 }
 
+/// Rejects keyword counts beyond the `u8` dimension counters of
+/// [`NeighborSets`](crate::NeighborSets).
+fn validate_keyword_count(l: usize) -> Result<(), QueryError> {
+    if l > MAX_KEYWORDS {
+        return Err(QueryError::TooManyKeywords {
+            l,
+            max: MAX_KEYWORDS,
+        });
+    }
+    Ok(())
+}
+
 impl QuerySpec {
     /// Builds a spec, sorting and deduplicating each node set.
     pub fn new(mut keyword_nodes: Vec<Vec<NodeId>>, rmax: Weight) -> QuerySpec {
@@ -71,6 +84,7 @@ impl QuerySpec {
         if keyword_nodes.is_empty() {
             return Err(QueryError::NoKeywords);
         }
+        validate_keyword_count(keyword_nodes.len())?;
         validate_radius(rmax)?;
         let rmax = Weight::try_new(rmax).ok_or(QueryError::InvalidRadius(rmax))?;
         Ok(QuerySpec::new(keyword_nodes, rmax))
@@ -84,6 +98,7 @@ impl QuerySpec {
         if self.keyword_nodes.is_empty() {
             return Err(QueryError::NoKeywords);
         }
+        validate_keyword_count(self.keyword_nodes.len())?;
         validate_radius(self.rmax.get())?;
         validate_nodes(&self.keyword_nodes, graph)
     }
@@ -224,6 +239,26 @@ mod tests {
         let ok = QuerySpec::try_new(vec![vec![NodeId(2), NodeId(0)]], 3.5).unwrap();
         assert_eq!(ok.rmax, Weight::new(3.5));
         assert_eq!(ok.keyword_nodes[0], vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn try_new_rejects_too_many_keywords() {
+        let sets = vec![vec![NodeId(0)]; MAX_KEYWORDS + 1];
+        assert!(matches!(
+            QuerySpec::try_new(sets.clone(), 1.0),
+            Err(QueryError::TooManyKeywords { l, max })
+                if l == MAX_KEYWORDS + 1 && max == MAX_KEYWORDS
+        ));
+        // validate_for rejects it too, before any node-range checks.
+        let g = comm_graph::GraphBuilder::new(2).build();
+        let spec = QuerySpec::new(sets, Weight::new(1.0));
+        assert!(matches!(
+            spec.validate_for(&g),
+            Err(QueryError::TooManyKeywords { .. })
+        ));
+        // Exactly MAX_KEYWORDS is fine.
+        let ok = QuerySpec::try_new(vec![vec![NodeId(0)]; MAX_KEYWORDS], 1.0);
+        assert!(ok.is_ok());
     }
 
     #[test]

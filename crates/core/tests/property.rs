@@ -5,8 +5,8 @@
 use comm_core::naive::{naive_all_cores, naive_community_nodes};
 use comm_core::{
     bu_all, bu_topk, comm_all, comm_all_guarded, comm_k_guarded, get_community, td_all, td_topk,
-    CommK, Community, Core, CostFn, InterruptReason, LawlerK, Outcome, ProjectionIndex, QuerySpec,
-    RunGuard,
+    CommK, Community, Core, CostFn, EnginePool, InterruptReason, LawlerK, NeighborSets, Outcome,
+    Parallelism, ProjectionIndex, QuerySpec, RunGuard,
 };
 use comm_graph::{DijkstraEngine, Graph, GraphBuilder, NodeId, Weight};
 use proptest::prelude::*;
@@ -296,6 +296,68 @@ proptest! {
         let large = sorted_cores(comm_all(&g, &bigger).into_iter().map(|c| c.core));
         for c in &small {
             prop_assert!(large.binary_search(c).is_ok(), "lost {c:?} when radius grew");
+        }
+    }
+
+    /// Parallel `NeighborSets` refill is bit-identical to the serial
+    /// per-dimension loop: same dist/src per dimension and node, same
+    /// sum/count accumulators, for every thread count.
+    #[test]
+    fn parallel_neighbor_sets_match_serial(s in scenario()) {
+        let (g, spec) = build(&s);
+        let l = spec.l();
+        let n = g.node_count();
+        let mut serial = NeighborSets::new(l, n);
+        let mut engine = DijkstraEngine::new(n);
+        for (i, seeds) in spec.keyword_nodes.iter().enumerate() {
+            serial.recompute_dim(&g, &mut engine, i, seeds.iter().copied(), spec.rmax);
+        }
+        let pool = EnginePool::new();
+        for threads in [1usize, 2, 4, 8] {
+            let mut par = NeighborSets::new(l, n);
+            par.recompute_all(&g, &pool, &spec.keyword_nodes, spec.rmax,
+                Parallelism::new(threads));
+            for u in (0..n as u32).map(NodeId) {
+                for i in 0..l {
+                    prop_assert_eq!(par.dist(i, u), serial.dist(i, u),
+                        "dist dim {} node {} at {} threads", i, u, threads);
+                    prop_assert_eq!(par.src(i, u), serial.src(i, u),
+                        "src dim {} node {} at {} threads", i, u, threads);
+                }
+                prop_assert_eq!(par.sum(u), serial.sum(u),
+                    "sum at node {} at {} threads", u, threads);
+                prop_assert_eq!(par.count(u), serial.count(u),
+                    "count at node {} at {} threads", u, threads);
+            }
+            prop_assert_eq!(par.best_core(), serial.best_core());
+        }
+    }
+
+    /// Tripping one shared cancel flag interrupts every in-flight query of
+    /// a concurrent batch: each returns `Outcome::Interrupted` with the
+    /// cancellation reason and a valid (possibly empty) prefix.
+    #[test]
+    fn shared_guard_trip_interrupts_every_inflight_query(s in scenario(), batch in 2usize..6) {
+        let (g, spec) = build(&s);
+        let flag = RunGuard::new().cancel_flag();
+        flag.store(true, std::sync::atomic::Ordering::SeqCst);
+        let tasks: Vec<_> = (0..batch)
+            .map(|_| {
+                let (g, spec, flag) = (&g, &spec, &flag);
+                move || {
+                    comm_k_guarded(g, spec, usize::MAX,
+                        RunGuard::new().with_cancel_flag(std::sync::Arc::clone(flag)))
+                }
+            })
+            .collect();
+        for out in Parallelism::new(4).map(tasks) {
+            match out.unwrap() {
+                Outcome::Interrupted { reason, partial } => {
+                    prop_assert_eq!(reason, InterruptReason::Cancelled);
+                    check_partial_invariants(&partial)?;
+                }
+                Outcome::Complete(_) => prop_assert!(false, "tripped guard ran to completion"),
+            }
         }
     }
 }

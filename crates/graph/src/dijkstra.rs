@@ -211,9 +211,14 @@ impl DijkstraEngine {
     }
 }
 
-/// One-shot single-source shortest distances (allocates its own engine).
+/// One-shot single-source shortest distances. The engine scratch state is
+/// borrowed from [`EnginePool::global`](crate::EnginePool::global), so
+/// repeated one-shot calls stop paying the `O(n)` allocation after the
+/// first.
 pub fn shortest_distances(graph: &Graph, dir: Direction, from: NodeId) -> Vec<Weight> {
-    DijkstraEngine::new(graph.node_count()).distances(graph, dir, from)
+    crate::pool::EnginePool::global()
+        .acquire(graph.node_count())
+        .distances(graph, dir, from)
 }
 
 #[cfg(test)]

@@ -12,6 +12,10 @@
 //!   workhorse behind `Neighbor()`, `GetCommunity()` and `GraphProjection`;
 //! * [`RunGuard`]: cooperative execution governor (cancellation, deadlines,
 //!   work/memory budgets) threaded through every sweep and enumeration;
+//! * [`EnginePool`] / [`Parallelism`]: a size-class pool of engine scratch
+//!   states plus a deterministic fork–join executor, the substrate for the
+//!   parallel sweep paths in `comm-core` and the batch driver in
+//!   `comm-bench`;
 //! * [`InducedGraph`]: induced-subgraph extraction with id mapping;
 //! * [`mod@reference`]: brute-force oracles for tests.
 //!
@@ -32,6 +36,8 @@ mod dijkstra;
 mod dijkstra_fib;
 pub mod guard;
 pub mod io;
+pub mod parallel;
+pub mod pool;
 pub mod reference;
 pub mod verify;
 pub mod weight;
@@ -40,5 +46,7 @@ pub use csr::{graph_from_edges, Direction, Graph, GraphBuilder, InducedGraph, No
 pub use dijkstra::{shortest_distances, DijkstraEngine, Settled};
 pub use dijkstra_fib::FibDijkstraEngine;
 pub use guard::{InterruptReason, Outcome, RunGuard};
+pub use parallel::Parallelism;
+pub use pool::{EnginePool, PooledEngine};
 pub use verify::GraphInvariantError;
 pub use weight::Weight;

@@ -1,0 +1,221 @@
+//! Serial/parallel equivalence gate (the tentpole's correctness contract):
+//! every parallel path — enumerator keyword sweeps, projection-index
+//! construction, community materialization, and the batch driver — must
+//! produce **identical** results to the serial path for every thread
+//! count, on the paper's running example and on a sampled synthetic DBLP
+//! workload.
+
+use comm_bench::{BatchQuery, BatchRunner};
+use communities::datasets::paper_example::{fig4_graph, fig4_keyword_nodes, FIG4_RMAX};
+use communities::datasets::workload::{query_keywords, DBLP_KEYWORD_GROUPS};
+use communities::datasets::{generate_dblp, DblpConfig};
+use communities::graph::{Graph, NodeId, Weight};
+use communities::search::{
+    get_community_guarded, get_community_par_guarded, CommAll, CommK, Community, CostFn,
+    EnginePool, Parallelism, ProjectionIndex, QuerySpec, RunGuard,
+};
+
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Everything observable about a community, in one comparable value.
+fn sig(c: &Community) -> (Vec<u32>, f64, Vec<u32>, Vec<u32>, Vec<u32>, usize) {
+    let ids = |v: &[NodeId]| v.iter().map(|n| n.0).collect::<Vec<u32>>();
+    (
+        ids(&c.core.0),
+        c.cost.get(),
+        ids(&c.centers),
+        ids(&c.path_nodes),
+        ids(c.nodes()),
+        c.edge_count(),
+    )
+}
+
+fn small_dblp() -> communities::datasets::GeneratedDataset {
+    generate_dblp(&DblpConfig::default().scaled(0.3))
+}
+
+fn dblp_spec(ds: &communities::datasets::GeneratedDataset, l: usize) -> QuerySpec {
+    let keywords = query_keywords(DBLP_KEYWORD_GROUPS, 0.0009, l);
+    QuerySpec::new(
+        keywords
+            .iter()
+            .map(|&kw| ds.graph.keyword_nodes(kw).to_vec())
+            .collect(),
+        Weight::new(6.0),
+    )
+}
+
+/// CommAll truncated at `cap`, at a given thread count.
+fn all_at(g: &Graph, spec: &QuerySpec, threads: usize, cap: usize) -> Vec<Community> {
+    CommAll::new(g, spec)
+        .with_parallelism(Parallelism::new(threads))
+        .take(cap)
+        .collect()
+}
+
+fn topk_at(g: &Graph, spec: &QuerySpec, threads: usize, k: usize) -> Vec<Community> {
+    CommK::new(g, spec)
+        .with_parallelism(Parallelism::new(threads))
+        .take(k)
+        .collect()
+}
+
+#[test]
+fn paper_example_comm_all_is_thread_count_invariant() {
+    let g = fig4_graph();
+    let spec = QuerySpec::new(fig4_keyword_nodes(), Weight::new(FIG4_RMAX));
+    let serial: Vec<_> = all_at(&g, &spec, 1, usize::MAX).iter().map(sig).collect();
+    assert!(!serial.is_empty());
+    for threads in THREAD_SWEEP {
+        let par: Vec<_> = all_at(&g, &spec, threads, usize::MAX)
+            .iter()
+            .map(sig)
+            .collect();
+        assert_eq!(serial, par, "CommAll diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn paper_example_comm_k_is_thread_count_invariant() {
+    let g = fig4_graph();
+    for cost in [CostFn::SumDistances, CostFn::MaxDistance] {
+        let spec = QuerySpec::new(fig4_keyword_nodes(), Weight::new(FIG4_RMAX)).with_cost(cost);
+        let serial: Vec<_> = topk_at(&g, &spec, 1, 10).iter().map(sig).collect();
+        assert!(!serial.is_empty());
+        for threads in THREAD_SWEEP {
+            let par: Vec<_> = topk_at(&g, &spec, threads, 10).iter().map(sig).collect();
+            assert_eq!(serial, par, "CommK diverged at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn dblp_workload_enumeration_is_thread_count_invariant() {
+    let ds = small_dblp();
+    let g = &ds.graph.graph;
+    for l in [2usize, 4] {
+        let spec = dblp_spec(&ds, l);
+        let serial_all: Vec<_> = all_at(g, &spec, 1, 60).iter().map(sig).collect();
+        let serial_topk: Vec<_> = topk_at(g, &spec, 1, 40).iter().map(sig).collect();
+        for threads in [2usize, 4] {
+            let par_all: Vec<_> = all_at(g, &spec, threads, 60).iter().map(sig).collect();
+            assert_eq!(
+                serial_all, par_all,
+                "DBLP CommAll l={l} at {threads} threads"
+            );
+            let par_topk: Vec<_> = topk_at(g, &spec, threads, 40).iter().map(sig).collect();
+            assert_eq!(
+                serial_topk, par_topk,
+                "DBLP CommK l={l} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn dblp_projection_build_is_thread_count_invariant() {
+    let ds = small_dblp();
+    let g = &ds.graph.graph;
+    let keywords = query_keywords(DBLP_KEYWORD_GROUPS, 0.0009, 4);
+    let entries: Vec<(&str, &[NodeId])> = keywords
+        .iter()
+        .map(|&kw| (kw, ds.graph.keyword_nodes(kw)))
+        .collect();
+    let serial = ProjectionIndex::build(g, entries.iter().copied(), Weight::new(8.0));
+    let pool = EnginePool::new();
+    for threads in THREAD_SWEEP {
+        let par = ProjectionIndex::build_par_guarded(
+            g,
+            entries.iter().copied(),
+            Weight::new(8.0),
+            &RunGuard::unlimited(),
+            &pool,
+            Parallelism::new(threads),
+        )
+        .expect("unlimited guard never trips");
+        assert_eq!(par.keyword_count(), serial.keyword_count());
+        assert_eq!(par.byte_size(), serial.byte_size());
+        for &kw in &keywords {
+            assert_eq!(par.nodes_of(kw), serial.nodes_of(kw));
+            assert_eq!(par.edges_of(kw), serial.edges_of(kw));
+        }
+    }
+}
+
+#[test]
+fn dblp_get_community_is_thread_count_invariant() {
+    let ds = small_dblp();
+    let g = &ds.graph.graph;
+    let spec = dblp_spec(&ds, 4);
+    // Materialize through the parallel step-1 path for real enumerated
+    // cores and compare against the serial engine.
+    let cores: Vec<_> = all_at(g, &spec, 1, 12)
+        .into_iter()
+        .map(|c| c.core)
+        .collect();
+    assert!(!cores.is_empty());
+    let pool = EnginePool::new();
+    let mut engine = communities::graph::DijkstraEngine::new(g.node_count());
+    for core in &cores {
+        let serial = get_community_guarded(
+            g,
+            &mut engine,
+            core,
+            spec.rmax,
+            CostFn::SumDistances,
+            &RunGuard::unlimited(),
+        )
+        .expect("unlimited guard never trips")
+        .expect("enumerated cores always materialize");
+        for threads in THREAD_SWEEP {
+            let par = get_community_par_guarded(
+                g,
+                &pool,
+                core,
+                spec.rmax,
+                CostFn::SumDistances,
+                &RunGuard::unlimited(),
+                Parallelism::new(threads),
+            )
+            .expect("unlimited guard never trips")
+            .expect("enumerated cores always materialize");
+            assert_eq!(
+                sig(&serial),
+                sig(&par),
+                "core {core:?} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn dblp_batch_runner_is_thread_count_invariant() {
+    let ds = small_dblp();
+    let g = &ds.graph.graph;
+    let queries: Vec<BatchQuery> = [2usize, 3, 4]
+        .iter()
+        .map(|&l| {
+            let kws = query_keywords(DBLP_KEYWORD_GROUPS, 0.0009, l);
+            BatchQuery {
+                label: kws.join("+"),
+                keyword_nodes: kws
+                    .iter()
+                    .map(|kw| ds.graph.keyword_nodes(kw).to_vec())
+                    .collect(),
+                rmax: 6.0,
+                k: 25,
+            }
+        })
+        .collect();
+    let serial = BatchRunner::new(Parallelism::serial()).run(g, &queries);
+    assert_eq!(serial.completed, queries.len());
+    for threads in [2usize, 4] {
+        let par = BatchRunner::new(Parallelism::new(threads)).run(g, &queries);
+        assert_eq!(par.queries, serial.queries);
+        assert_eq!(par.completed, serial.completed);
+        for (a, b) in serial.results.iter().zip(&par.results) {
+            assert_eq!(a.label, b.label, "batch order must follow submission");
+            assert_eq!(a.status, b.status, "query '{}' diverged", a.label);
+        }
+    }
+}

@@ -87,16 +87,13 @@ fn lint(args: &[String]) -> ExitCode {
             .strip_prefix(&root)
             .map(Path::to_path_buf)
             .unwrap_or_else(|_| path.clone());
-        let in_core = display
-            .components()
-            .any(|c| c.as_os_str() == "core")
+        let in_core = display.components().any(|c| c.as_os_str() == "core")
             && display.components().any(|c| c.as_os_str() == "crates");
         let sf = SourceFile::from_text(display, text);
         findings.extend(rules::check_file(&sf, in_core));
     }
 
-    let (waived, live): (Vec<&Finding>, Vec<&Finding>) =
-        findings.iter().partition(|f| f.waived);
+    let (waived, live): (Vec<&Finding>, Vec<&Finding>) = findings.iter().partition(|f| f.waived);
 
     if json {
         for f in &live {

@@ -49,7 +49,14 @@ pub fn check_file(f: &SourceFile, in_core: bool) -> Vec<Finding> {
     out
 }
 
-fn push(f: &SourceFile, out: &mut Vec<Finding>, rule: &'static str, line: usize, msg: String, suggestion: &str) {
+fn push(
+    f: &SourceFile,
+    out: &mut Vec<Finding>,
+    rule: &'static str,
+    line: usize,
+    msg: String,
+    suggestion: &str,
+) {
     if f.is_test_line(line) {
         return;
     }
@@ -149,12 +156,16 @@ fn preceding_ident(masked: &str, pos: usize) -> &str {
 }
 
 /// `guard_coverage`: every `pub fn` in `crates/core` whose body loops over
-/// graph nodes must thread a `RunGuard` (or delegate to a `_guarded`
-/// variant), so new algorithms cannot bypass the execution governor.
+/// graph nodes — or fans work out across threads — must thread a
+/// `RunGuard` (or delegate to a `_guarded` variant), so new algorithms
+/// cannot bypass the execution governor. Parallel entry points are held to
+/// the same bar as serial loops: a fan-out without a shared guard cannot
+/// be cancelled mid-batch.
 fn guard_coverage(f: &SourceFile, out: &mut Vec<Finding>) {
     const SUGGESTION: &str = "accept `&RunGuard` (or delegate to a `*_guarded` variant) so the \
          execution governor can interrupt the loop";
     const LOOP_MARKS: [&str; 4] = [".nodes()", "node_count()", "0..self.n", " 0..n"];
+    const PAR_MARKS: [&str; 4] = ["thread::scope", ".spawn(", ".map_init(", "par.map("];
     let mut search = 0;
     while let Some(rel) = f.masked[search..].find("pub fn ") {
         let pos = search + rel;
@@ -181,19 +192,25 @@ fn guard_coverage(f: &SourceFile, out: &mut Vec<Finding>) {
         let body = &f.masked[open..close];
         let loops = (body.contains("for ") || body.contains("while "))
             && LOOP_MARKS.iter().any(|m| body.contains(m));
-        if !loops {
+        let fans_out = PAR_MARKS.iter().any(|m| body.contains(m));
+        if !loops && !fans_out {
             continue;
         }
         let guarded = signature.to_lowercase().contains("guard")
             || body.contains("guard")
             || body.contains("Guard");
         if !guarded {
+            let what = if fans_out {
+                "fans work out across threads"
+            } else {
+                "loops over graph nodes"
+            };
             push(
                 f,
                 out,
                 GUARD_COVERAGE,
                 line,
-                format!("`pub fn {name}` loops over graph nodes without a RunGuard"),
+                format!("`pub fn {name}` {what} without a RunGuard"),
                 SUGGESTION,
             );
         }
@@ -333,12 +350,18 @@ mod tests {
     }
 
     fn live(src: &str, in_core: bool) -> Vec<Finding> {
-        findings(src, in_core).into_iter().filter(|x| !x.waived).collect()
+        findings(src, in_core)
+            .into_iter()
+            .filter(|x| !x.waived)
+            .collect()
     }
 
     #[test]
     fn seeded_unwrap_violation_fails() {
-        let out = live("pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n", false);
+        let out = live(
+            "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+            false,
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rule, NO_PANICS);
         assert_eq!(out[0].line, 2);
@@ -354,7 +377,10 @@ mod tests {
 
     #[test]
     fn unwrap_or_else_is_not_flagged() {
-        let out = live("fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or_else(|| 0)\n}\n", false);
+        let out = live(
+            "fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or_else(|| 0)\n}\n",
+            false,
+        );
         assert!(out.is_empty(), "{out:?}");
     }
 
@@ -366,7 +392,8 @@ mod tests {
 
     #[test]
     fn test_code_is_exempt() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u8>) {\n        x.unwrap();\n    }\n}\n";
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u8>) {\n        x.unwrap();\n    }\n}\n";
         assert!(findings(src, false).is_empty());
     }
 
@@ -387,7 +414,10 @@ mod tests {
 
     #[test]
     fn widening_casts_are_fine() {
-        let out = live("fn f(n: u32) -> u64 {\n    let _ = n as usize;\n    n as u64\n}\n", false);
+        let out = live(
+            "fn f(n: u32) -> u64 {\n    let _ = n as usize;\n    n as u64\n}\n",
+            false,
+        );
         assert!(out.is_empty(), "{out:?}");
     }
 
@@ -430,6 +460,41 @@ mod tests {
     }
 
     #[test]
+    fn seeded_unguarded_fan_out_fails() {
+        let src = "pub fn sweep(g: &Graph) -> Vec<u64> {\n    let tasks = make_tasks(g);\n    par.map(tasks)\n}\n";
+        let out = live(src, true);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, GUARD_COVERAGE);
+        assert!(out[0].message.contains("fans work out"));
+        // Same source is clean outside crates/core.
+        assert!(live(src, false).is_empty());
+    }
+
+    #[test]
+    fn seeded_unguarded_scope_spawn_fails() {
+        let src = "pub fn sweep(g: &Graph) {\n    std::thread::scope(|s| {\n        s.spawn(|| work(g));\n    });\n}\n";
+        let out = live(src, true);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, GUARD_COVERAGE);
+    }
+
+    #[test]
+    fn guarded_fan_out_passes() {
+        let src = "pub fn sweep_guarded(g: &Graph, guard: &RunGuard) -> Vec<u64> {\n    let tasks = make_tasks(g, guard);\n    par.map(tasks)\n}\n";
+        assert!(live(src, true).is_empty());
+        let init = "pub fn build(g: &Graph, guard: &RunGuard) -> Vec<u64> {\n    par.map_init(|| scratch(), make_tasks(g, guard))\n}\n";
+        assert!(live(init, true).is_empty());
+    }
+
+    #[test]
+    fn unwrap_inside_scoped_closure_is_flagged() {
+        let src = "pub fn sweep_guarded(g: &Graph, guard: &RunGuard) {\n    std::thread::scope(|s| {\n        s.spawn(|| g.lookup().unwrap());\n    });\n}\n";
+        let out = live(src, true);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, NO_PANICS);
+    }
+
+    #[test]
     fn non_node_loop_passes() {
         let src = "pub fn sum(xs: &[u64]) -> u64 {\n    let mut t = 0;\n    for x in xs {\n        t += x;\n    }\n    t\n}\n";
         assert!(live(src, true).is_empty());
@@ -460,7 +525,10 @@ mod tests {
 
     #[test]
     fn non_error_enums_are_ignored() {
-        let out = live("pub enum Direction {\n    Forward,\n    Reverse,\n}\n", false);
+        let out = live(
+            "pub enum Direction {\n    Forward,\n    Reverse,\n}\n",
+            false,
+        );
         assert!(out.is_empty(), "{out:?}");
     }
 }
