@@ -30,6 +30,28 @@ RAYON_NUM_THREADS=2 cargo test -q --workspace --release
 echo "==> serial/parallel equivalence gate"
 RAYON_NUM_THREADS=2 cargo test -q --release --test parallel_equivalence
 
+# Serve smoke lane: chaos-load the daemon (fault injection armed), then a
+# CLI round trip. chaos_load exits non-zero unless every request
+# terminated in a declared state with zero protocol errors and sheds got
+# explicit Overloaded replies.
+echo "==> serve smoke (chaos load + CLI round trip)"
+cargo run --quiet --release -p comm-serve --example chaos_load -- /tmp/BENCH_serve_ci.json
+EXPLORE=(cargo run --quiet --release -p comm-cli --bin comm-explore --)
+"${EXPLORE[@]}" serve --addr 127.0.0.1:0 --side 8 >/tmp/serve_smoke.out 2>/dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" /tmp/serve_smoke.out && break
+    sleep 0.1
+done
+SERVE_ADDR=$(sed -n 's/listening on //p' /tmp/serve_smoke.out)
+test -n "$SERVE_ADDR" || { echo "daemon never bound"; kill "$SERVE_PID"; exit 1; }
+"${EXPLORE[@]}" client --addr "$SERVE_ADDR" ping >/dev/null
+"${EXPLORE[@]}" client --addr "$SERVE_ADDR" query alpha beta >/dev/null
+"${EXPLORE[@]}" client --addr "$SERVE_ADDR" query alpha no-such-keyword >/dev/null 2>&1 \
+    && { echo "bad keyword must exit non-zero"; exit 1; }
+"${EXPLORE[@]}" client --addr "$SERVE_ADDR" shutdown >/dev/null
+wait "$SERVE_PID"
+
 echo "==> xtask self-tests"
 cargo test -q --release --manifest-path xtask/Cargo.toml
 

@@ -1,0 +1,203 @@
+//! `serve_bench` — the serving-path benchmark: spins up the `comm-serve`
+//! daemon under fault injection, drives it with the open-loop load
+//! generator, and writes `BENCH_serve.json` with machine metadata folded
+//! in (the std-only `chaos_load` example writes the same document minus
+//! the machine block; this binary is the one CI archives).
+//!
+//! ```bash
+//! cargo run --release -p comm-bench --bin serve_bench -- --out BENCH_serve.json
+//! ```
+//!
+//! Exit codes follow the CLI contract: 0 when every request terminated in
+//! a declared state with zero protocol errors, 1 otherwise, 2 for usage.
+
+use comm_bench::MachineInfo;
+use comm_serve::{
+    counter, run_load, spawn, AdmissionConfig, ChaosConfig, ClientConfig, EngineConfig, LoadConfig,
+    QueryEngine, ServerConfig,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Options {
+    out: String,
+    side: usize,
+    connections: usize,
+    requests: usize,
+    chaos: bool,
+}
+
+const HELP: &str = "\
+usage: serve_bench [options]
+
+options:
+  --out PATH        where to write the report (default BENCH_serve.json)
+  --side N          torus side; the graph has N*N nodes (default 16)
+  --connections N   concurrent load-generator connections (default 8)
+  --requests N      total requests to send (default 400)
+  --no-chaos        disable fault injection (a clean-path baseline)
+  --help            this text";
+
+fn parse(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        out: "BENCH_serve.json".to_owned(),
+        side: 16,
+        connections: 8,
+        requests: 400,
+        chaos: true,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let num = |s: String, name: &str| {
+            s.parse::<usize>()
+                .map_err(|_| format!("{name}: '{s}' is not a number"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--out" => opts.out = value("--out")?,
+            "--side" => opts.side = num(value("--side")?, "--side")?,
+            "--connections" => opts.connections = num(value("--connections")?, "--connections")?,
+            "--requests" => opts.requests = num(value("--requests")?, "--requests")?,
+            "--no-chaos" => opts.chaos = false,
+            other => return Err(format!("unknown option '{other}' (try --help)")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            println!("{HELP}");
+            return;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let engine: Arc<QueryEngine> = match comm_serve::synthetic_engine(
+        opts.side,
+        EngineConfig {
+            parallelism: comm_graph::Parallelism::new(2),
+            ..EngineConfig::default()
+        },
+    ) {
+        Ok(e) => Arc::new(e),
+        Err(e) => {
+            eprintln!("error: engine failed to build: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let chaos = if opts.chaos {
+        ChaosConfig {
+            trip_queries_after: Some(20_000),
+            disconnect_every: Some(9),
+            delay_every: Some((13, Duration::from_millis(10))),
+            poison_pool_every: Some(17),
+        }
+    } else {
+        ChaosConfig::default()
+    };
+    let handle = match spawn(
+        engine,
+        ServerConfig {
+            admission: AdmissionConfig {
+                max_inflight: 1,
+                max_queue: 1,
+                queue_wait: Duration::from_millis(5),
+                base_deadline: Duration::from_millis(500),
+                base_settled_budget: 500_000,
+                retry_after: Duration::from_millis(5),
+            },
+            io_timeout: Duration::from_millis(250),
+            chaos,
+            ..ServerConfig::default()
+        },
+    ) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: daemon failed to bind: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let report = run_load(
+        handle.addr(),
+        &LoadConfig {
+            connections: opts.connections,
+            requests: opts.requests,
+            interarrival: Duration::from_micros(500),
+            mix: comm_serve::synthetic_mix(6.0),
+            client: ClientConfig {
+                max_retries: 3,
+                base_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(50),
+                ..ClientConfig::default()
+            },
+            slow_client_every: Some(50),
+            slow_client_stall: Duration::from_millis(400),
+        },
+    );
+
+    let counters = handle.counters();
+    handle.shutdown();
+
+    // The load generator's hand-rolled JSON is the document of record;
+    // here we get to enrich it with serde_json since the bench crate has
+    // registry deps anyway.
+    let mut doc: serde_json::Value = match serde_json::from_str(&report.to_json()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: load report JSON did not parse: {e}");
+            std::process::exit(1);
+        }
+    };
+    doc["machine"] = match serde_json::to_value(MachineInfo::capture()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: machine info did not serialize: {e}");
+            std::process::exit(1);
+        }
+    };
+    doc["server"] = serde_json::Value::Object(
+        counters
+            .iter()
+            .map(|(name, value)| (name.clone(), serde_json::Value::from(*value)))
+            .collect(),
+    );
+
+    let json = match serde_json::to_string_pretty(&doc) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: report did not serialize: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&opts.out, json + "\n") {
+        eprintln!("error: could not write {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {}: {} sent, {} complete, {} degraded, {} overloaded ({} server sheds)",
+        opts.out,
+        report.sent,
+        report.complete,
+        report.degraded,
+        report.overloaded,
+        counter(&counters, "shed"),
+    );
+    if !report.fully_classified() || report.protocol_errors != 0 {
+        eprintln!("run was NOT fully classified or had protocol errors");
+        std::process::exit(1);
+    }
+}

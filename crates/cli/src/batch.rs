@@ -5,6 +5,7 @@
 //! percentiles. Ctrl-C trips the batch-wide cancel flag: every in-flight
 //! query unwinds through its `RunGuard` and is reported as interrupted.
 
+use crate::exit_codes;
 use comm_bench::{BatchQuery, BatchRunner, Prepared, Scale};
 use comm_core::Parallelism;
 use std::time::Duration;
@@ -87,11 +88,11 @@ pub fn run(args: &[String], cancel: std::sync::Arc<std::sync::atomic::AtomicBool
         Ok(Some(opts)) => opts,
         Ok(None) => {
             println!("{BATCH_HELP}");
-            return 0;
+            return exit_codes::OK;
         }
         Err(e) => {
             eprintln!("error: {e}");
-            return 2;
+            return exit_codes::USAGE;
         }
     };
     let prepared = match opts.dataset.as_str() {
@@ -99,7 +100,7 @@ pub fn run(args: &[String], cancel: std::sync::Arc<std::sync::atomic::AtomicBool
         "imdb" => Prepared::imdb(opts.scale),
         other => {
             eprintln!("error: unknown dataset '{other}' (dblp or imdb)");
-            return 2;
+            return exit_codes::USAGE;
         }
     };
     let graph = &prepared.dataset.graph.graph;
@@ -171,14 +172,14 @@ pub fn run(args: &[String], cancel: std::sync::Arc<std::sync::atomic::AtomicBool
             Ok(()) => println!("wrote {path}"),
             Err(e) => {
                 eprintln!("error: could not write {path}: {e}");
-                return 1;
+                return exit_codes::RUNTIME;
             }
         }
     }
     if report.interrupted > 0 {
-        3
+        exit_codes::INTERRUPTED
     } else {
-        0
+        exit_codes::OK
     }
 }
 

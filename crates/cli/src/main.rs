@@ -18,12 +18,22 @@
 //! ```bash
 //! cargo run --release -p comm-cli --bin comm-explore -- batch --quick --threads 4
 //! ```
+//!
+//! `serve` runs the resident query daemon and `client` talks to it; both
+//! follow the exit-code contract in [`exit_codes`]:
+//!
+//! ```bash
+//! cargo run --release -p comm-cli --bin comm-explore -- serve --addr 127.0.0.1:0
+//! cargo run --release -p comm-cli --bin comm-explore -- client query alpha beta
+//! ```
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod batch;
 mod commands;
+mod daemon;
+mod exit_codes;
 mod session;
 
 use commands::{parse, Command, HELP};
@@ -69,10 +79,19 @@ mod sigint {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.first().map(String::as_str) == Some("batch") {
-        let cancel = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
-        sigint::install(std::sync::Arc::clone(&cancel));
-        std::process::exit(batch::run(&argv[1..], cancel));
+    match argv.first().map(String::as_str) {
+        Some("batch") => {
+            let cancel = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            sigint::install(std::sync::Arc::clone(&cancel));
+            std::process::exit(batch::run(&argv[1..], cancel));
+        }
+        Some("serve") => {
+            let cancel = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            sigint::install(std::sync::Arc::clone(&cancel));
+            std::process::exit(daemon::run_serve(&argv[1..], cancel));
+        }
+        Some("client") => std::process::exit(daemon::run_client(&argv[1..])),
+        _ => {}
     }
     let mut session = Session::new();
     sigint::install(session.cancel_flag());

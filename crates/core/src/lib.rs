@@ -81,7 +81,7 @@ pub use get_community::{
 };
 pub use lawler::LawlerK;
 pub use neighbor::{BestCore, NeighborSets, MAX_KEYWORDS};
-pub use projection::{ProjectedQuery, ProjectionIndex};
+pub use projection::{comm_k_on_index, ProjectedQuery, ProjectionIndex};
 pub use types::{Community, Core, CostFn, QuerySpec};
 pub use verify::{
     check_community, check_enumeration, check_ranking, check_topk_prefix, CertificationError,

@@ -225,6 +225,11 @@ impl NeighborSets {
         self.sweeps += self.l;
         let n = self.n;
         let l = self.l;
+        // An empty graph (e.g. a projection with no centers) has nothing
+        // to sweep, and `chunks_mut(0)` below would panic.
+        if n == 0 {
+            return Ok(());
+        }
         // Phase 1: fill each dimension's dist/src slice independently.
         let sweep_tasks: Vec<_> = self
             .dist

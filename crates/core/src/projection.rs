@@ -17,9 +17,11 @@
 //! exactly the communities of the full graph (tested by the projection
 //! property tests).
 
+use crate::comm_k::comm_k_guarded;
 use crate::error::{validate_radius, QueryError};
-use crate::types::QuerySpec;
+use crate::types::{Community, Core, CostFn, QuerySpec};
 use comm_graph::weight::index_to_u32;
+use comm_graph::Outcome;
 use comm_graph::{
     DijkstraEngine, Direction, EnginePool, Graph, GraphBuilder, InducedGraph, InterruptReason,
     NodeId, Parallelism, PooledEngine, RunGuard, Weight,
@@ -89,6 +91,58 @@ pub struct ProjectedQuery {
     pub projected: InducedGraph,
     /// The query's keyword node sets in *local* (projected) ids.
     pub spec: QuerySpec,
+}
+
+impl ProjectedQuery {
+    /// Translates a community enumerated on the projected graph back into
+    /// the original graph's node ids, so callers (and answer caches) never
+    /// observe projection-local ids. The community's internal subgraph is
+    /// structurally unchanged — only its id mapping is rewritten — and all
+    /// sorted node lists stay sorted because the projection's local ids
+    /// are assigned in ascending original-id order.
+    pub fn lift(&self, c: Community) -> Community {
+        let m = |v: NodeId| self.projected.to_original(v);
+        Community {
+            core: Core(c.core.0.iter().map(|&v| m(v)).collect()),
+            cost: c.cost,
+            centers: c.centers.iter().map(|&v| m(v)).collect(),
+            knodes: c.knodes.iter().map(|&v| m(v)).collect(),
+            path_nodes: c.path_nodes.iter().map(|&v| m(v)).collect(),
+            subgraph: InducedGraph {
+                graph: c.subgraph.graph,
+                original_ids: c.subgraph.original_ids.iter().map(|&v| m(v)).collect(),
+            },
+        }
+    }
+}
+
+/// Cache-aware top-k entry point: projects the query through a (possibly
+/// cached) [`ProjectionIndex`], runs `COMM-k` on the projected graph under
+/// `guard`, and lifts the answers back to original graph ids.
+///
+/// This is the single execution path behind the serving layer's cached and
+/// uncached answers — both roads go through the same index → projection →
+/// enumeration → lift pipeline, which is what makes the cached-vs-uncached
+/// bit-identical contract structural rather than coincidental.
+///
+/// `guard` governs the whole query: projection sweeps and enumeration share
+/// its deadline, budgets, and cancel flag. A trip during projection returns
+/// `Err(QueryError::Interrupted)` (a partial projection would silently drop
+/// communities); a trip during enumeration returns
+/// `Ok(Outcome::Interrupted)` carrying the exact ranked prefix emitted so
+/// far.
+pub fn comm_k_on_index(
+    index: &ProjectionIndex,
+    keywords: &[&str],
+    rmax: Weight,
+    k: usize,
+    cost: CostFn,
+    guard: RunGuard,
+) -> Result<Outcome<Vec<Community>>, QueryError> {
+    let pq = index.try_project(keywords, rmax, &guard)?;
+    let spec = pq.spec.clone().with_cost(cost);
+    let out = comm_k_guarded(&pq.projected.graph, &spec, k, guard)?;
+    Ok(out.map(|cs| cs.into_iter().map(|c| pq.lift(c)).collect()))
 }
 
 impl ProjectionIndex {
@@ -557,6 +611,91 @@ mod tests {
             ))
         ));
         assert!(idx.try_project(&["a", "b"], Weight::new(6.0), &g).is_ok());
+    }
+
+    #[test]
+    fn lift_translates_every_id_back_to_original() {
+        let (g, idx) = index(8.0);
+        let full_spec = QuerySpec::new(fig4_keyword_nodes(), Weight::new(FIG4_RMAX));
+        let full = comm_k(&g, &full_spec, 5);
+        let pq = idx
+            .project(&["a", "b", "c"], Weight::new(FIG4_RMAX))
+            .unwrap();
+        let lifted: Vec<_> = comm_k(&pq.projected.graph, &pq.spec, 5)
+            .into_iter()
+            .map(|c| pq.lift(c))
+            .collect();
+        assert_eq!(lifted.len(), full.len());
+        for (a, b) in lifted.iter().zip(&full) {
+            assert_eq!(a.core, b.core);
+            assert_eq!(a.cost, b.cost);
+            assert_eq!(a.centers, b.centers);
+            assert_eq!(a.knodes, b.knodes);
+            assert_eq!(a.path_nodes, b.path_nodes);
+            assert_eq!(a.subgraph.original_ids, b.subgraph.original_ids);
+            assert_eq!(a.edge_count(), b.edge_count());
+        }
+    }
+
+    #[test]
+    fn comm_k_on_index_matches_full_graph_and_certifies() {
+        let (g, idx) = index(8.0);
+        let full_spec = QuerySpec::new(fig4_keyword_nodes(), Weight::new(FIG4_RMAX));
+        let full = comm_k(&g, &full_spec, 5);
+        let out = comm_k_on_index(
+            &idx,
+            &["a", "b", "c"],
+            Weight::new(FIG4_RMAX),
+            5,
+            CostFn::SumDistances,
+            RunGuard::unlimited(),
+        )
+        .unwrap();
+        assert!(out.is_complete());
+        let got = out.into_value();
+        assert_eq!(got.len(), full.len());
+        for (a, b) in got.iter().zip(&full) {
+            assert_eq!(a.core, b.core);
+            assert_eq!(a.cost, b.cost);
+            // Lifted answers certify against the FULL graph's spec — the
+            // certification path the serving layer's cache contract reuses.
+            crate::verify::check_community(&g, &full_spec, a).unwrap();
+        }
+    }
+
+    #[test]
+    fn comm_k_on_index_interruption_is_an_exact_prefix() {
+        let (g, idx) = index(8.0);
+        let full_spec = QuerySpec::new(fig4_keyword_nodes(), Weight::new(FIG4_RMAX));
+        let full = comm_k(&g, &full_spec, 5);
+        // A candidate budget of 2 yields exactly the first 2 ranked answers.
+        let out = comm_k_on_index(
+            &idx,
+            &["a", "b", "c"],
+            Weight::new(FIG4_RMAX),
+            5,
+            CostFn::SumDistances,
+            RunGuard::new().with_candidate_budget(2),
+        )
+        .unwrap();
+        assert!(!out.is_complete());
+        let prefix = out.into_value();
+        assert_eq!(prefix.len(), 2);
+        for (a, b) in prefix.iter().zip(&full) {
+            assert_eq!(a.core, b.core);
+            assert_eq!(a.cost, b.cost);
+        }
+        // A trip during the projection sweeps has no partial result at all.
+        let err = comm_k_on_index(
+            &idx,
+            &["a", "b", "c"],
+            Weight::new(FIG4_RMAX),
+            5,
+            CostFn::SumDistances,
+            RunGuard::new().with_settled_budget(1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::Interrupted(_)));
     }
 
     #[test]

@@ -264,6 +264,51 @@ mod tests {
     }
 
     #[test]
+    fn truncated_frame_corpus_every_prefix_is_a_clean_error() {
+        // Fuzz-gap regression: for EVERY proper prefix of a valid frame —
+        // including "header fully valid, body short" cuts inside an edge
+        // record — the reader must return a clean `Err`, never a partial
+        // parse and never a panic. Only the full frame parses.
+        let g = sample();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        assert_eq!(
+            buf.len() as u64,
+            HEADER_BYTES + g.edge_count() as u64 * EDGE_BYTES
+        );
+        for cut in 0..buf.len() {
+            let prefix = &buf[..cut];
+            match read_graph(&mut &prefix[..]) {
+                Err(e) => assert!(
+                    matches!(
+                        e.kind(),
+                        io::ErrorKind::UnexpectedEof | io::ErrorKind::InvalidData
+                    ),
+                    "cut {cut}: unexpected error kind {:?}",
+                    e.kind()
+                ),
+                Ok(h) => panic!(
+                    "cut {cut}/{} parsed as a {}-node/{}-edge graph instead of erroring",
+                    buf.len(),
+                    h.node_count(),
+                    h.edge_count()
+                ),
+            }
+        }
+        assert!(read_graph(&mut buf.as_slice()).is_ok());
+        // The same holds through the file path, where the length pre-check
+        // fires before any record is parsed.
+        let dir = std::env::temp_dir().join("comm_graph_io_corpus_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prefix.cgph");
+        let body_short = HEADER_BYTES as usize + EDGE_BYTES as usize / 2;
+        std::fs::write(&path, &buf[..body_short]).unwrap();
+        let err = load_graph(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn empty_graph_roundtrip() {
         let g = graph_from_edges(0, &[]);
         let mut buf = Vec::new();

@@ -11,7 +11,7 @@
 
 use crate::dijkstra::DijkstraEngine;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Engines parked per size class beyond this count are dropped instead of
 /// pooled, bounding the pool's memory to `CLASSES × PER_CLASS_CAP` engines.
@@ -20,13 +20,6 @@ const PER_CLASS_CAP: usize = 64;
 /// Size classes cover capacities `2^0 .. 2^63`; class `c` holds engines
 /// built for up to `2^c` nodes.
 const CLASSES: usize = 64;
-
-/// Recovers a mutex even if a panicking thread poisoned it: the protected
-/// `Vec<DijkstraEngine>` has no invariants a half-completed push/pop can
-/// break (engines are epoch-stamped and self-healing).
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
 
 /// The size class for a graph of `n` nodes: the smallest `c` with
 /// `2^c ≥ n`. All engines in one class have the same rounded capacity, so
@@ -63,6 +56,8 @@ pub struct EnginePool {
     misses: AtomicUsize,
     /// Successful bucket pops (telemetry).
     hits: AtomicUsize,
+    /// Shards recovered after a panicking thread poisoned their mutex.
+    poison_recoveries: AtomicUsize,
 }
 
 impl EnginePool {
@@ -72,6 +67,28 @@ impl EnginePool {
             classes: (0..CLASSES).map(|_| Mutex::new(Vec::new())).collect(),
             misses: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
+            poison_recoveries: AtomicUsize::new(0),
+        }
+    }
+
+    /// Locks one size-class shard, recovering it if a panicking thread
+    /// poisoned the mutex. Recovery discards the shard's parked engines —
+    /// an unwinding thread may have left one mid-sweep with stale scratch
+    /// for the epoch it never finished — and clears the poison flag so the
+    /// shard pools engines again instead of degrading forever. A shared
+    /// pool must never propagate an unrelated thread's panic to its
+    /// callers.
+    fn lock_shard(&self, class: usize) -> MutexGuard<'_, Vec<DijkstraEngine>> {
+        let m = &self.classes[class];
+        match m.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                let mut g = poisoned.into_inner();
+                g.clear();
+                m.clear_poison();
+                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                g
+            }
         }
     }
 
@@ -86,7 +103,7 @@ impl EnginePool {
     /// to the pool when the guard drops.
     pub fn acquire(&self, n: usize) -> PooledEngine<'_> {
         let class = size_class(n).min(CLASSES - 1);
-        let engine = lock(&self.classes[class]).pop();
+        let engine = self.lock_shard(class).pop();
         let engine = match engine {
             Some(e) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -106,7 +123,7 @@ impl EnginePool {
 
     /// Engines currently parked across all size classes.
     pub fn pooled_engines(&self) -> usize {
-        self.classes.iter().map(|c| lock(c).len()).sum()
+        (0..CLASSES).map(|c| self.lock_shard(c).len()).sum()
     }
 
     /// `(hits, misses)`: acquires served from the pool vs fresh builds.
@@ -117,8 +134,33 @@ impl EnginePool {
         )
     }
 
+    /// How many times a poisoned shard was recovered (scratch discarded,
+    /// poison cleared). Surfaced in the serving daemon's stats so chaos
+    /// runs can prove recovery actually happened.
+    pub fn poison_recoveries(&self) -> usize {
+        self.poison_recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Chaos-testing hook: poisons the shard serving graphs of `n` nodes
+    /// by panicking on a scratch thread while it holds the shard lock.
+    /// The next `acquire`/`release` touching the shard must recover it.
+    #[doc(hidden)]
+    pub fn poison_shard_for_chaos(&self, n: usize) {
+        let class = size_class(n).min(CLASSES - 1);
+        // A scoped thread bounds the poisoning panic to this call.
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                let _guard = self.classes[class].lock();
+                // xtask-allow: no_panics — deliberate poison injection for chaos tests
+                panic!("chaos: poisoning EnginePool shard {class}");
+            });
+            // The scratch thread's panic is the point; swallow its unwind.
+            let _ = handle.join();
+        });
+    }
+
     fn release(&self, class: usize, engine: DijkstraEngine) {
-        let mut bucket = lock(&self.classes[class]);
+        let mut bucket = self.lock_shard(class);
         if bucket.len() < PER_CLASS_CAP {
             bucket.push(engine);
         }
@@ -241,5 +283,43 @@ mod tests {
         let engines: Vec<_> = (0..PER_CLASS_CAP + 8).map(|_| pool.acquire(16)).collect();
         drop(engines);
         assert_eq!(pool.pooled_engines(), PER_CLASS_CAP);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_and_keeps_serving() {
+        let pool = EnginePool::new();
+        drop(pool.acquire(100)); // park one engine in the 128-class
+        assert_eq!(pool.pooled_engines(), 1);
+        pool.poison_shard_for_chaos(100);
+        assert_eq!(pool.poison_recoveries(), 0, "recovery happens lazily");
+        // The first touch after the poison clears the shard (stale scratch
+        // is discarded) instead of panicking.
+        let d = {
+            let g = graph_from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)]);
+            pool.acquire(100)
+                .distances(&g, Direction::Forward, NodeId(0))
+        };
+        assert_eq!(d[2], Weight::new(3.0));
+        assert_eq!(pool.poison_recoveries(), 1);
+        // The shard pools engines again: poison was cleared, not latched.
+        assert_eq!(pool.pooled_engines(), 1);
+        drop(pool.acquire(100));
+        assert_eq!(
+            pool.poison_recoveries(),
+            1,
+            "a recovered shard must not keep counting recoveries"
+        );
+    }
+
+    #[test]
+    fn poison_recovery_discards_parked_engines() {
+        let pool = EnginePool::new();
+        drop(pool.acquire(40));
+        drop(pool.acquire(10_000));
+        assert_eq!(pool.pooled_engines(), 2);
+        pool.poison_shard_for_chaos(40);
+        // Only the poisoned shard is cleared; the other class is intact.
+        assert_eq!(pool.pooled_engines(), 1);
+        assert_eq!(pool.poison_recoveries(), 1);
     }
 }

@@ -1,0 +1,134 @@
+//! Generates `BENCH_serve.json`: spins up the daemon on a loopback port,
+//! drives it with the open-loop load generator under fault injection, and
+//! writes the latency/outcome breakdown.
+//!
+//! Std-only on purpose — it runs in the offline container the same way
+//! the CI smoke lane does:
+//!
+//! ```text
+//! cargo run --release -p comm-serve --example chaos_load [OUT.json]
+//! ```
+
+use comm_serve::{
+    counter, run_load, spawn, AdmissionConfig, ChaosConfig, ClientConfig, EngineConfig, LoadConfig,
+    QueryEngine, ServerConfig,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn engine() -> Arc<QueryEngine> {
+    // 16×16 torus: heavy enough that deadlines and budgets bite, small
+    // enough that the run stays in seconds on one CPU.
+    let built = comm_serve::synthetic_engine(
+        16,
+        EngineConfig {
+            parallelism: comm_graph::Parallelism::new(2),
+            ..EngineConfig::default()
+        },
+    );
+    match built {
+        Ok(e) => Arc::new(e),
+        // xtask-allow: no_panics — bench driver entry point, not library code
+        Err(e) => panic!("synthetic engine failed to build: {e}"),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let handle = match spawn(
+        engine(),
+        ServerConfig {
+            admission: AdmissionConfig {
+                max_inflight: 1,
+                max_queue: 1,
+                queue_wait: Duration::from_millis(5),
+                base_deadline: Duration::from_millis(500),
+                base_settled_budget: 500_000,
+                retry_after: Duration::from_millis(5),
+            },
+            io_timeout: Duration::from_millis(250),
+            chaos: ChaosConfig {
+                trip_queries_after: Some(20_000),
+                disconnect_every: Some(9),
+                delay_every: Some((13, Duration::from_millis(10))),
+                poison_pool_every: Some(17),
+            },
+            ..ServerConfig::default()
+        },
+    ) {
+        Ok(h) => h,
+        // xtask-allow: no_panics — bench driver entry point, not library code
+        Err(e) => panic!("daemon failed to bind: {e}"),
+    };
+
+    let report = run_load(
+        handle.addr(),
+        &LoadConfig {
+            connections: 8,
+            requests: 400,
+            interarrival: Duration::from_micros(500),
+            mix: comm_serve::synthetic_mix(6.0),
+            client: ClientConfig {
+                max_retries: 3,
+                base_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(50),
+                ..ClientConfig::default()
+            },
+            slow_client_every: Some(50),
+            slow_client_stall: Duration::from_millis(400),
+        },
+    );
+
+    let counters = handle.counters();
+    handle.shutdown();
+
+    // Fold the server-side counters into the report JSON so the bench
+    // artifact records both sides of the run.
+    let mut json = report.to_json();
+    json.pop(); // strip the closing brace
+    json.push_str(",\n  \"server\": {\n");
+    let picks = [
+        "requests",
+        "completed",
+        "degraded",
+        "rejected",
+        "admitted",
+        "shed",
+        "protocol_errors",
+        "dedupe_replays",
+        "index_cache_hits",
+        "index_cache_misses",
+        "answer_cache_hits",
+        "answer_cache_misses",
+        "chaos_disconnects",
+        "chaos_delays",
+        "chaos_poisons",
+        "pool_poison_recoveries",
+    ];
+    for (i, name) in picks.iter().enumerate() {
+        let sep = if i + 1 == picks.len() { "\n" } else { ",\n" };
+        json.push_str(&format!(
+            "    \"{name}\": {}{sep}",
+            counter(&counters, name)
+        ));
+    }
+    json.push_str("  }\n}");
+
+    eprintln!("{json}");
+    let healthy = report.fully_classified() && report.protocol_errors == 0;
+    if let Err(e) = std::fs::write(&out_path, json + "\n") {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "wrote {out_path}: {} sent, {} complete, {} degraded, {} overloaded",
+        report.sent, report.complete, report.degraded, report.overloaded
+    );
+    if !healthy {
+        eprintln!("run was NOT fully classified or had protocol errors");
+        std::process::exit(1);
+    }
+}

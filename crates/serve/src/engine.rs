@@ -1,0 +1,249 @@
+//! The daemon's resident query engine: one graph, one keyword vocabulary,
+//! and the two guarded caches, behind a single [`answer`] entry point.
+//!
+//! **Bit-identical contract.** Cached and uncached replies must match bit
+//! for bit. This holds structurally rather than by re-verification on
+//! every hit:
+//!
+//! * the uncached path is the deterministic
+//!   [`comm_k_on_index`](comm_core::comm_k_on_index) pipeline
+//!   (project → enumerate → lift), and
+//! * the cached path replays the stored `Vec<Community>` of a previous
+//!   **complete** run of that same pipeline — interrupted answers are
+//!   never cached, so a cached value is always the full deterministic
+//!   answer.
+//!
+//! **Guarded replay.** A cache hit still consults the request's
+//! [`RunGuard`] once per returned community, so a tripped guard during a
+//! cached-answer reply degrades to the same certified exact prefix an
+//! uncached interrupted run would produce.
+//!
+//! **Guarded insertion.** Index construction runs under the request's
+//! guard and only a fully built index is inserted; a trip mid-build
+//! surfaces as [`QueryError::Interrupted`] with the cache untouched.
+//!
+//! [`answer`]: QueryEngine::answer
+
+use crate::cache::{AnswerKey, CachedAnswer, CachedIndex, IndexKey, Lru, Vocabulary};
+use crate::protocol::CommunitySummary;
+use comm_core::{comm_k_on_index, Community, CostFn, ProjectionIndex, QueryError};
+use comm_graph::weight::index_to_u32;
+use comm_graph::{EnginePool, Graph, Outcome, Parallelism, RunGuard, Weight};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Engine tunables.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// The radius every cached projection index is built for; requests
+    /// with `rmax` beyond it are rejected (projection would be lossy).
+    pub index_radius: f64,
+    /// Capacity of the projection-index LRU.
+    pub index_cache_cap: usize,
+    /// Capacity of the exact-hit answer LRU.
+    pub answer_cache_cap: usize,
+    /// Ranking cost function.
+    pub cost: CostFn,
+    /// Fan-out for index builds (per-keyword sweeps borrow engines from
+    /// the shared [`EnginePool`]).
+    pub parallelism: Parallelism,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            index_radius: 8.0,
+            index_cache_cap: 8,
+            answer_cache_cap: 256,
+            cost: CostFn::SumDistances,
+            parallelism: Parallelism::serial(),
+        }
+    }
+}
+
+/// The resident engine shared by every connection handler.
+pub struct QueryEngine {
+    graph: Graph,
+    vocab: Vocabulary,
+    index_radius: Weight,
+    cost: CostFn,
+    parallelism: Parallelism,
+    indexes: Mutex<Lru<IndexKey, CachedIndex>>,
+    answers: Mutex<Lru<AnswerKey, CachedAnswer>>,
+}
+
+/// Recovers a cache lock from a poisoned mutex: both caches hold only
+/// fully built `Arc`s (insertion happens after construction succeeds), so
+/// the state is consistent even if an unwinding thread held the lock.
+fn lock_cache<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl QueryEngine {
+    /// Builds an engine over `graph` with the keyword → node-set
+    /// vocabulary `vocab`.
+    pub fn new(
+        graph: Graph,
+        vocab: Vocabulary,
+        cfg: EngineConfig,
+    ) -> Result<QueryEngine, QueryError> {
+        let index_radius =
+            Weight::try_new(cfg.index_radius).ok_or(QueryError::InvalidRadius(cfg.index_radius))?;
+        Ok(QueryEngine {
+            graph,
+            vocab,
+            index_radius,
+            cost: cfg.cost,
+            parallelism: cfg.parallelism,
+            indexes: Mutex::new(Lru::new(cfg.index_cache_cap)),
+            answers: Mutex::new(Lru::new(cfg.answer_cache_cap)),
+        })
+    }
+
+    /// The served graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The maximum `Rmax` the engine accepts.
+    pub fn index_radius(&self) -> Weight {
+        self.index_radius
+    }
+
+    /// The node set of one vocabulary keyword (lowercased), if indexed.
+    /// Exposed so callers can certify replies against the full graph.
+    pub fn keyword_nodes(&self, keyword: &str) -> Option<&[comm_graph::NodeId]> {
+        self.vocab.get(&keyword.to_lowercase()).map(Vec::as_slice)
+    }
+
+    /// `(index hits, index misses, answer hits, answer misses)`.
+    pub fn cache_stats(&self) -> (u64, u64, u64, u64) {
+        let (ih, im) = lock_cache(&self.indexes).stats();
+        let (ah, am) = lock_cache(&self.answers).stats();
+        (ih, im, ah, am)
+    }
+
+    /// `(cached indexes, cached answers)` — entry counts, for tests and
+    /// the stats reply.
+    pub fn cache_sizes(&self) -> (usize, usize) {
+        (
+            lock_cache(&self.indexes).len(),
+            lock_cache(&self.answers).len(),
+        )
+    }
+
+    /// Resolves the projection index for a keyword set: cache hit, or a
+    /// guarded build inserted only on success.
+    fn index_for(&self, keywords: &[String], guard: &RunGuard) -> Result<CachedIndex, QueryError> {
+        let key = IndexKey::new(keywords, self.index_radius.get().to_bits());
+        if let Some(idx) = lock_cache(&self.indexes).get(&key) {
+            return Ok(idx);
+        }
+        // Resolve the vocabulary before building: an unknown keyword is a
+        // client error, not a reason to burn sweep budget.
+        let mut entries: Vec<(&str, &[comm_graph::NodeId])> =
+            Vec::with_capacity(key.keywords.len());
+        for kw in &key.keywords {
+            let nodes = self
+                .vocab
+                .get(kw)
+                .ok_or_else(|| QueryError::UnknownKeyword(kw.clone()))?;
+            entries.push((kw.as_str(), nodes.as_slice()));
+        }
+        // Build OUTSIDE the cache lock (sweeps are the expensive part);
+        // a concurrent duplicate build is wasted work, never wrong. The
+        // per-keyword sweeps borrow scratch from the shared EnginePool,
+        // which keeps the pool — and its poison-recovery path — on the
+        // serving path the chaos harness exercises.
+        let built = ProjectionIndex::build_par_guarded(
+            &self.graph,
+            entries,
+            self.index_radius,
+            guard,
+            EnginePool::global(),
+            self.parallelism,
+        )
+        .map_err(QueryError::Interrupted)?;
+        let idx: CachedIndex = Arc::new(built);
+        lock_cache(&self.indexes).insert(key, Arc::clone(&idx));
+        Ok(idx)
+    }
+
+    /// Answers a top-k community query under `guard`.
+    ///
+    /// * `Ok(Outcome::Complete)` — the full answer (served from cache or
+    ///   computed and then cached);
+    /// * `Ok(Outcome::Interrupted)` — a certified exact ranked prefix
+    ///   (guard tripped during enumeration or cached replay);
+    /// * `Err(QueryError::Interrupted)` — the guard tripped during
+    ///   projection/index build, where no partial result exists;
+    /// * other `Err`s — the request is invalid (unknown keyword, radius
+    ///   beyond the index, …).
+    pub fn answer(
+        &self,
+        keywords: &[String],
+        rmax: f64,
+        k: u32,
+        guard: &RunGuard,
+    ) -> Result<Outcome<Vec<Community>>, QueryError> {
+        if keywords.is_empty() {
+            return Err(QueryError::NoKeywords);
+        }
+        let rmax_w = Weight::try_new(rmax).ok_or(QueryError::InvalidRadius(rmax))?;
+        if rmax_w > self.index_radius {
+            return Err(QueryError::RadiusExceedsIndex {
+                rmax,
+                index_radius: self.index_radius.get(),
+            });
+        }
+        let akey = AnswerKey::new(keywords, rmax, k);
+        if let Some(cached) = lock_cache(&self.answers).get(&akey) {
+            return Ok(replay(&cached, guard));
+        }
+        let index = self.index_for(keywords, guard)?;
+        let kw_refs: Vec<&str> = akey.keywords.iter().map(String::as_str).collect();
+        let out = comm_k_on_index(
+            &index,
+            &kw_refs,
+            rmax_w,
+            usize::try_from(k).unwrap_or(usize::MAX),
+            self.cost,
+            guard.clone(),
+        )?;
+        if let Outcome::Complete(communities) = &out {
+            lock_cache(&self.answers).insert(akey, Arc::new(communities.clone()));
+        }
+        Ok(out)
+    }
+}
+
+/// Replays a cached complete answer under `guard`: one candidate check
+/// per community, so a trip yields the exact ranked prefix emitted so far
+/// — the same degradation an uncached interrupted run produces.
+fn replay(cached: &CachedAnswer, guard: &RunGuard) -> Outcome<Vec<Community>> {
+    let mut out = Vec::with_capacity(cached.len());
+    for c in cached.iter() {
+        if let Err(reason) = guard.note_candidate() {
+            return Outcome::Interrupted {
+                reason,
+                partial: out,
+            };
+        }
+        out.push(c.clone());
+    }
+    Outcome::Complete(out)
+}
+
+/// Flattens a [`Community`] into its wire summary. Costs travel as raw
+/// bits so cache replays stay bit-identical end to end.
+pub fn summarize(c: &Community) -> CommunitySummary {
+    CommunitySummary {
+        core: c.core.0.iter().map(|n| n.0).collect(),
+        cost_bits: c.cost.get().to_bits(),
+        centers: c.centers.iter().map(|n| n.0).collect(),
+        node_count: index_to_u32(c.node_count()),
+        edge_count: index_to_u32(c.edge_count()),
+    }
+}

@@ -1,0 +1,133 @@
+//! A deterministic synthetic serving workload: a torus grid graph with
+//! keywords assigned by residue class, plus a repeating query mix.
+//!
+//! Everything here is seed-free and dependency-free on purpose: the chaos
+//! tests, the CI smoke lane, and the offline bench all need a workload
+//! that builds identically everywhere (no datasets crate, no RNG) and is
+//! heavy enough that deadlines and budgets actually bite.
+
+use crate::engine::{EngineConfig, QueryEngine};
+use crate::protocol::Priority;
+use comm_core::QueryError;
+use comm_graph::weight::index_to_u32;
+use comm_graph::{graph_from_edges, NodeId};
+use std::collections::HashMap;
+
+/// One query of the load mix.
+#[derive(Clone, Debug)]
+pub struct QueryMix {
+    /// Query keywords.
+    pub keywords: Vec<String>,
+    /// Radius bound.
+    pub rmax: f64,
+    /// Top-k.
+    pub k: u32,
+    /// Service level.
+    pub priority: Priority,
+}
+
+/// The keyword vocabulary of the synthetic workload.
+pub const KEYWORDS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// Builds a `side × side` torus grid: node `(r, c)` connects to its four
+/// neighbors (wrapping) with weights cycling `1.0, 1.5, 2.0` so shortest
+/// paths are non-trivial. Keyword `KEYWORDS[i]` lands on nodes whose id is
+/// `≡ i (mod 5 + i)` — overlapping, uneven classes, as real attributes
+/// would be.
+pub fn synthetic_engine(side: usize, cfg: EngineConfig) -> Result<QueryEngine, QueryError> {
+    let n = side * side;
+    let id = |r: usize, c: usize| index_to_u32((r % side) * side + (c % side));
+    let mut edges: Vec<(u32, u32, f64)> = Vec::with_capacity(n * 2);
+    let weights = [1.0, 1.5, 2.0];
+    for r in 0..side {
+        for c in 0..side {
+            let w1 = weights[(r + c) % weights.len()];
+            let w2 = weights[(r + 2 * c) % weights.len()];
+            edges.push((id(r, c), id(r, c + 1), w1));
+            edges.push((id(r, c + 1), id(r, c), w1));
+            edges.push((id(r, c), id(r + 1, c), w2));
+            edges.push((id(r + 1, c), id(r, c), w2));
+        }
+    }
+    let graph = graph_from_edges(n, &edges);
+    let mut vocab: HashMap<String, Vec<NodeId>> = HashMap::new();
+    for (i, kw) in KEYWORDS.iter().enumerate() {
+        let modulus = 5 + i;
+        let nodes: Vec<NodeId> = (0..n)
+            .filter(|v| v % modulus == i)
+            .map(|v| NodeId(index_to_u32(v)))
+            .collect();
+        vocab.insert((*kw).to_string(), nodes);
+    }
+    QueryEngine::new(graph, vocab, cfg)
+}
+
+/// The repeating query mix: cache-friendly repeats plus heavier radius/k
+/// combinations, across all three priorities.
+pub fn synthetic_mix(rmax: f64) -> Vec<QueryMix> {
+    let kw = |names: &[&str]| -> Vec<String> { names.iter().map(|s| s.to_string()).collect() };
+    vec![
+        QueryMix {
+            keywords: kw(&["alpha", "beta"]),
+            rmax: rmax / 2.0,
+            k: 5,
+            priority: Priority::Normal,
+        },
+        QueryMix {
+            keywords: kw(&["beta", "gamma"]),
+            rmax,
+            k: 10,
+            priority: Priority::Normal,
+        },
+        QueryMix {
+            keywords: kw(&["alpha", "beta"]),
+            rmax: rmax / 2.0,
+            k: 5,
+            priority: Priority::Low,
+        },
+        QueryMix {
+            keywords: kw(&["alpha", "gamma", "delta"]),
+            rmax,
+            k: 20,
+            priority: Priority::High,
+        },
+        QueryMix {
+            keywords: kw(&["beta", "gamma"]),
+            rmax,
+            k: 10,
+            priority: Priority::Low,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_engine_builds_and_answers() {
+        let engine = synthetic_engine(8, EngineConfig::default()).unwrap();
+        assert_eq!(engine.graph().node_count(), 64);
+        let out = engine
+            .answer(
+                &["alpha".to_string(), "beta".to_string()],
+                4.0,
+                3,
+                &comm_graph::RunGuard::unlimited(),
+            )
+            .unwrap();
+        assert!(out.is_complete());
+        assert!(
+            !out.value().is_empty(),
+            "the torus must contain alpha/beta communities within radius 4"
+        );
+    }
+
+    #[test]
+    fn mix_covers_every_priority() {
+        let mix = synthetic_mix(6.0);
+        for p in [Priority::Low, Priority::Normal, Priority::High] {
+            assert!(mix.iter().any(|q| q.priority == p), "missing {p}");
+        }
+    }
+}

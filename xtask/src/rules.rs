@@ -35,13 +35,14 @@ pub const GUARD_COVERAGE: &str = "guard_coverage";
 /// Rule id for exhaustive `Display` impls on `*Error` enums.
 pub const DISPLAY_MATCH: &str = "display_match";
 
-/// Runs every applicable rule over one file. `in_core` enables the
-/// guard-coverage rule (it only applies to `crates/core`).
-pub fn check_file(f: &SourceFile, in_core: bool) -> Vec<Finding> {
+/// Runs every applicable rule over one file. `guard_scope` enables the
+/// guard-coverage rule (it applies to `crates/core` and `crates/serve`,
+/// where ungoverned loops could run unbounded work).
+pub fn check_file(f: &SourceFile, guard_scope: bool) -> Vec<Finding> {
     let mut out = Vec::new();
     no_panics(f, &mut out);
     narrowing_cast(f, &mut out);
-    if in_core {
+    if guard_scope {
         guard_coverage(f, &mut out);
     }
     display_match(f, &mut out);
@@ -155,16 +156,26 @@ fn preceding_ident(masked: &str, pos: usize) -> &str {
     &masked[start..pos]
 }
 
-/// `guard_coverage`: every `pub fn` in `crates/core` whose body loops over
-/// graph nodes — or fans work out across threads — must thread a
-/// `RunGuard` (or delegate to a `_guarded` variant), so new algorithms
-/// cannot bypass the execution governor. Parallel entry points are held to
-/// the same bar as serial loops: a fan-out without a shared guard cannot
-/// be cancelled mid-batch.
+/// `guard_coverage`: every `pub fn` in `crates/core` or `crates/serve`
+/// whose body loops over graph nodes, pumps a request loop, or fans work
+/// out across threads must thread a `RunGuard` (or delegate to a
+/// `_guarded` variant), so new algorithms and new serving paths cannot
+/// bypass the execution governor. Parallel entry points are held to the
+/// same bar as serial loops: a fan-out without a shared guard cannot be
+/// cancelled mid-batch.
 fn guard_coverage(f: &SourceFile, out: &mut Vec<Finding>) {
     const SUGGESTION: &str = "accept `&RunGuard` (or delegate to a `*_guarded` variant) so the \
          execution governor can interrupt the loop";
-    const LOOP_MARKS: [&str; 4] = [".nodes()", "node_count()", "0..self.n", " 0..n"];
+    const LOOP_MARKS: [&str; 6] = [
+        ".nodes()",
+        "node_count()",
+        "0..self.n",
+        " 0..n",
+        // Serving-path loops: an accept loop or a frame-pump without a
+        // cancellable guard would hang shutdown forever.
+        ".accept(",
+        "read_frame(",
+    ];
     const PAR_MARKS: [&str; 4] = ["thread::scope", ".spawn(", ".map_init(", "par.map("];
     let mut search = 0;
     while let Some(rel) = f.masked[search..].find("pub fn ") {
@@ -497,6 +508,30 @@ mod tests {
     #[test]
     fn non_node_loop_passes() {
         let src = "pub fn sum(xs: &[u64]) -> u64 {\n    let mut t = 0;\n    for x in xs {\n        t += x;\n    }\n    t\n}\n";
+        assert!(live(src, true).is_empty());
+    }
+
+    #[test]
+    fn seeded_unguarded_accept_loop_fails() {
+        let src = "pub fn serve(listener: &TcpListener) {\n    while running() {\n        let (s, _) = listener.accept().unwrap_or_continue();\n        handle(s);\n    }\n}\n";
+        let out = live(src, true);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, GUARD_COVERAGE);
+        // The same source is clean outside the guard scope.
+        assert!(live(src, false).is_empty());
+    }
+
+    #[test]
+    fn seeded_unguarded_frame_pump_fails() {
+        let src = "pub fn pump(stream: &mut TcpStream) {\n    while let Ok(frame) = read_frame(stream) {\n        dispatch(frame);\n    }\n}\n";
+        let out = live(src, true);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, GUARD_COVERAGE);
+    }
+
+    #[test]
+    fn cancellable_request_loop_passes() {
+        let src = "pub fn serve(listener: &TcpListener, guard_cancel: &AtomicBool) {\n    while !guard_cancel.load(Ordering::Relaxed) {\n        let _ = listener.accept();\n    }\n}\n";
         assert!(live(src, true).is_empty());
     }
 
