@@ -55,8 +55,35 @@ wait "$SERVE_PID"
 echo "==> xtask self-tests"
 cargo test -q --release --manifest-path xtask/Cargo.toml
 
-echo "==> cargo xtask lint"
-cargo run --quiet --release --manifest-path xtask/Cargo.toml -- lint
+echo "==> cargo xtask lint (with stale-waiver audit)"
+cargo run --quiet --release --manifest-path xtask/Cargo.toml -- lint --stale-waivers
+
+echo "==> cargo xtask analyze (concurrency discipline)"
+cargo run --quiet --release --manifest-path xtask/Cargo.toml -- analyze
+
+# Concurrency lane: the exhaustive admission-gate interleaving model runs
+# everywhere (std-only); ThreadSanitizer needs nightly + rust-src and is
+# skipped gracefully where absent, like the hardening tools.
+echo "==> admission-gate interleaving model"
+cargo test -q --release -p comm-serve --test admission_model
+
+echo "==> wire-protocol property tests"
+cargo test -q --release --test protocol_roundtrip
+
+echo "==> ThreadSanitizer (parallel equivalence + serve tests)"
+if rustc +nightly --version >/dev/null 2>&1 \
+    && rustc +nightly --print sysroot 2>/dev/null \
+        | xargs -I{} test -d {}/lib/rustlib/src/rust/library; then
+    HOST_TARGET=$(rustc -vV | sed -n 's/^host: //p')
+    RUSTFLAGS="-Zsanitizer=thread" RAYON_NUM_THREADS=2 \
+        cargo +nightly test -q --release -Zbuild-std \
+        --target "$HOST_TARGET" -p comm-serve --lib
+    RUSTFLAGS="-Zsanitizer=thread" RAYON_NUM_THREADS=2 \
+        cargo +nightly test -q --release -Zbuild-std \
+        --target "$HOST_TARGET" --test parallel_equivalence
+else
+    echo "    nightly rust-src not installed; skipped (CI concurrency lane runs it)"
+fi
 
 # Hardening lane: skipped gracefully where the tools are absent; the
 # GitHub workflow installs and runs both unconditionally.

@@ -117,7 +117,6 @@ fn main() {
             &pool,
             Parallelism::new(threads),
         )
-        // xtask-allow: no_panics — bench binary, unlimited guard never trips
         .expect("unlimited build");
         std::hint::black_box(idx.keyword_count());
     }));

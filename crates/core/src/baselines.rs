@@ -360,6 +360,7 @@ fn top_down_reach(
     engine.run_guarded(graph, Direction::Forward, [u], spec.rmax, guard, |s| {
         if let Some(dims) = membership.get(&s.node) {
             for &i in dims {
+                // xtask-allow: unbounded_alloc — run_guarded charges per settled node; l sets
                 sets[i as usize].push((s.node, s.dist));
             }
         }

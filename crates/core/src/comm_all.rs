@@ -283,6 +283,7 @@ pub fn comm_all_guarded(
     let mut it = CommAll::try_new(graph, spec)?.with_guard(guard);
     let mut out = Vec::new();
     for c in &mut it {
+        // xtask-allow: unbounded_alloc — with_guard charges per candidate inside the iterator
         out.push(c);
     }
     Ok(match it.interrupted() {

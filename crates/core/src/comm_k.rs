@@ -350,6 +350,7 @@ pub fn comm_k_guarded(
     let mut it = CommK::try_new(graph, spec)?.with_guard(guard);
     let mut out = Vec::new();
     for c in it.by_ref().take(k) {
+        // xtask-allow: unbounded_alloc — take(k) bounds output; iterator charges per candidate
         out.push(c);
     }
     Ok(match it.interrupted() {

@@ -155,6 +155,7 @@ pub fn get_community_par_guarded(
         .collect();
     let mut per_knode: Vec<Vec<Weight>> = Vec::with_capacity(distinct.len());
     for swept in par.map_init(|| pool.acquire(n), sweep_tasks) {
+        // xtask-allow: unbounded_alloc — one entry per distinct keyword; sweeps are guard-governed in the tasks
         per_knode.push(swept?);
     }
     // Merge in distinct order — the exact serial accumulation order.
@@ -210,6 +211,7 @@ fn finish_from_accumulators(
     let mut cost = Weight::INFINITY;
     for u in 0..n {
         if count[u] == l {
+            // xtask-allow: unbounded_alloc — bounded by n, matching the preallocated scratch
             centers.push(NodeId(index_to_u32(u)));
             let s = match cost_fn {
                 CostFn::SumDistances => Weight::new(sum[u]),

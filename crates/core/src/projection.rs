@@ -70,6 +70,7 @@ fn keyword_entry(
     for &u in &reached {
         for (v, w) in graph.out_neighbors(u) {
             if stamp[v.index()] == e {
+                // xtask-allow: unbounded_alloc — bounded by edges of the guard-swept reached subgraph
                 edges.push((u, v, w));
             }
         }
@@ -229,6 +230,7 @@ impl ProjectionIndex {
         let mut entries = HashMap::new();
         for kv in built {
             let (kw, entry) = kv?;
+            // xtask-allow: unbounded_alloc — one entry per keyword; each build was guard-governed
             entries.insert(kw, entry);
         }
         Ok(ProjectionIndex {
@@ -319,6 +321,7 @@ impl ProjectionIndex {
         // (lines 1–9). Dedup edges across keywords.
         let mut w_sets: Vec<&KeywordEntry> = Vec::with_capacity(keywords.len());
         for kw in keywords {
+            // xtask-allow: unbounded_alloc — bounded by keywords.len()
             w_sets.push(
                 self.entries
                     .get(&kw.to_lowercase())
@@ -327,6 +330,7 @@ impl ProjectionIndex {
         }
         let mut union_edges: Vec<(NodeId, NodeId, Weight)> = Vec::new();
         for e in &w_sets {
+            // xtask-allow: unbounded_alloc — bounded by the stored index entries' edge lists
             union_edges.extend_from_slice(&e.edges);
         }
         union_edges.sort_unstable_by_key(|a| (a.0, a.1, a.2));

@@ -240,6 +240,7 @@ fn truncated_dijkstra(
     for &s in sources {
         if Weight::ZERO < dist[s.index()] {
             dist[s.index()] = Weight::ZERO;
+            // xtask-allow: unbounded_alloc — seeding pass, bounded by sources.len()
             heap.push(Reverse((Weight::ZERO, s)));
         }
     }
@@ -323,6 +324,7 @@ pub fn check_community_guarded(
         if !dists.iter().all(|d| d[u].is_finite()) {
             continue;
         }
+        // xtask-allow: unbounded_alloc — bounded by n; one candidate center per node
         centers.push(NodeId(index_to_u32(u)));
         // Aggregate exactly as GetCommunity does (same distinct order,
         // same multiplicity weighting) so float results match bit-for-bit.

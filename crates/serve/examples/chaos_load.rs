@@ -28,7 +28,6 @@ fn engine() -> Arc<QueryEngine> {
     );
     match built {
         Ok(e) => Arc::new(e),
-        // xtask-allow: no_panics — bench driver entry point, not library code
         Err(e) => panic!("synthetic engine failed to build: {e}"),
     }
 }
@@ -60,7 +59,6 @@ fn main() {
         },
     ) {
         Ok(h) => h,
-        // xtask-allow: no_panics — bench driver entry point, not library code
         Err(e) => panic!("daemon failed to bind: {e}"),
     };
 

@@ -150,6 +150,7 @@ impl QueryEngine {
                 .vocab
                 .get(kw)
                 .ok_or_else(|| QueryError::UnknownKeyword(kw.clone()))?;
+            // xtask-allow: unbounded_alloc — bounded by the validated request keyword count
             entries.push((kw.as_str(), nodes.as_slice()));
         }
         // Build OUTSIDE the cache lock (sweeps are the expensive part);

@@ -132,11 +132,27 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// Renders the host provenance block every report carries: timings are
+/// meaningless without the CPU count and thread override they ran under.
+fn machine_json() -> String {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads_env = match std::env::var(comm_graph::parallel::THREADS_ENV) {
+        Ok(v) => format!("\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")),
+        Err(_) => "null".to_string(),
+    };
+    format!(
+        "{{ \"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {cpus}, \"threads_env\": {threads_env} }}",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+    )
+}
+
 impl LoadReport {
     /// Renders the report as a JSON object (stable key order).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(512);
         s.push_str("{\n");
+        s.push_str(&format!("  \"machine\": {},\n", machine_json()));
         let fields: [(&str, String); 11] = [
             ("sent", self.sent.to_string()),
             ("complete", self.complete.to_string()),
@@ -364,6 +380,9 @@ mod tests {
         };
         let json = r.to_json();
         for key in [
+            "\"machine\"",
+            "\"cpus\":",
+            "\"threads_env\":",
             "\"sent\": 10",
             "\"complete\": 6",
             "\"degraded\": 2",

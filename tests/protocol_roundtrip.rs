@@ -1,0 +1,189 @@
+//! Property tests for the comm-serve wire protocol.
+//!
+//! Two guarantees the hand-written codecs must uphold:
+//!
+//! 1. **Roundtrip fidelity** — encode → decode → encode is bit-identical
+//!    for every representable message, including `rmax = NaN` and other
+//!    special floats (which is why the property compares re-encoded bytes
+//!    rather than structural equality: `NaN != NaN`).
+//! 2. **Hostile-input safety** — truncated and corrupted payloads are
+//!    rejected with a `ProtocolError`, never a panic, and the framing
+//!    layer refuses oversized length prefixes before allocating.
+
+use communities::serve::protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    CommunitySummary, Priority, Request, Response, MAX_FRAME_BYTES,
+};
+use proptest::prelude::*;
+
+fn arb_priority() -> impl Strategy<Value = Priority> {
+    prop_oneof![
+        Just(Priority::Low),
+        Just(Priority::Normal),
+        Just(Priority::High),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            arb_priority(),
+            prop::collection::vec(".{0,24}", 0..6),
+            any::<u64>(),
+            any::<u32>(),
+        )
+            .prop_map(|(id, priority, keywords, rmax_bits, k)| Request::Query {
+                id,
+                priority,
+                keywords,
+                // All 2^64 bit patterns: NaN payloads, infinities, subnormals.
+                rmax: f64::from_bits(rmax_bits),
+                k,
+            }),
+        any::<u64>().prop_map(|id| Request::Ping { id }),
+        any::<u64>().prop_map(|id| Request::Stats { id }),
+        any::<u64>().prop_map(|id| Request::Shutdown { id }),
+    ]
+}
+
+fn arb_summary() -> impl Strategy<Value = CommunitySummary> {
+    (
+        prop::collection::vec(any::<u32>(), 0..5),
+        any::<u64>(),
+        prop::collection::vec(any::<u32>(), 0..5),
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(
+            |(core, cost_bits, centers, node_count, edge_count)| CommunitySummary {
+                core,
+                cost_bits,
+                centers,
+                node_count,
+                edge_count,
+            },
+        )
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (any::<u64>(), prop::collection::vec(arb_summary(), 0..4))
+            .prop_map(|(id, communities)| Response::Complete { id, communities }),
+        (
+            any::<u64>(),
+            ".{0,32}",
+            prop::collection::vec(arb_summary(), 0..4),
+        )
+            .prop_map(|(id, reason, communities)| Response::Interrupted {
+                id,
+                reason,
+                communities,
+            }),
+        (any::<u64>(), any::<u32>())
+            .prop_map(|(id, retry_after_ms)| Response::Overloaded { id, retry_after_ms }),
+        (any::<u64>(), ".{0,32}").prop_map(|(id, message)| Response::Error { id, message }),
+        any::<u64>().prop_map(|id| Response::Pong { id }),
+        (
+            any::<u64>(),
+            prop::collection::vec((".{0,16}", any::<u64>()), 0..6),
+        )
+            .prop_map(|(id, counters)| Response::Stats { id, counters }),
+        any::<u64>().prop_map(|id| Response::ShuttingDown { id }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn request_roundtrip_is_bit_identical(req in arb_request()) {
+        let bytes = encode_request(&req).expect("encode");
+        let back = decode_request(&bytes).expect("decode");
+        let again = encode_request(&back).expect("re-encode");
+        prop_assert_eq!(bytes, again);
+    }
+
+    #[test]
+    fn response_roundtrip_is_bit_identical(resp in arb_response()) {
+        let bytes = encode_response(&resp).expect("encode");
+        let back = decode_response(&bytes).expect("decode");
+        let again = encode_response(&back).expect("re-encode");
+        prop_assert_eq!(bytes, again);
+    }
+
+    /// Every field is fixed-size or length-prefixed, so a payload can never
+    /// decode from fewer bytes than it was encoded to: all proper prefixes
+    /// must be rejected — and none may panic.
+    #[test]
+    fn truncated_request_is_rejected(req in arb_request(), cut in any::<prop::sample::Index>()) {
+        let bytes = encode_request(&req).expect("encode");
+        let cut = cut.index(bytes.len());
+        prop_assert!(decode_request(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn truncated_response_is_rejected(resp in arb_response(), cut in any::<prop::sample::Index>()) {
+        let bytes = encode_response(&resp).expect("encode");
+        let cut = cut.index(bytes.len());
+        prop_assert!(decode_response(&bytes[..cut]).is_err());
+    }
+
+    /// A single flipped byte must never cause a panic: either the decoder
+    /// rejects it, or it decodes to some other message that re-encodes
+    /// cleanly (a flip inside string content is still a valid message).
+    #[test]
+    fn corrupted_request_never_panics(
+        req in arb_request(),
+        at in any::<prop::sample::Index>(),
+        flip in 1u8..,
+    ) {
+        let mut bytes = encode_request(&req).expect("encode");
+        let at = at.index(bytes.len());
+        bytes[at] ^= flip;
+        if let Ok(back) = decode_request(&bytes) {
+            encode_request(&back).expect("decoded message re-encodes");
+        }
+    }
+
+    #[test]
+    fn corrupted_response_never_panics(
+        resp in arb_response(),
+        at in any::<prop::sample::Index>(),
+        flip in 1u8..,
+    ) {
+        let mut bytes = encode_response(&resp).expect("encode");
+        let at = at.index(bytes.len());
+        bytes[at] ^= flip;
+        if let Ok(back) = decode_response(&bytes) {
+            encode_response(&back).expect("decoded message re-encodes");
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip(payload in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).expect("write");
+        let back = read_frame(&mut wire.as_slice()).expect("read");
+        prop_assert_eq!(payload, back);
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocating() {
+    // A hostile peer claims a frame just over the cap; read_frame must
+    // refuse without trying to allocate the claimed buffer.
+    let wire = (MAX_FRAME_BYTES + 1).to_le_bytes();
+    assert!(read_frame(&mut wire.as_slice()).is_err());
+
+    let wire = u32::MAX.to_le_bytes();
+    assert!(read_frame(&mut wire.as_slice()).is_err());
+}
+
+#[test]
+fn empty_and_garbage_payloads_are_rejected() {
+    assert!(decode_request(&[]).is_err());
+    assert!(decode_response(&[]).is_err());
+    // Wrong version byte.
+    assert!(decode_request(&[0x7f, 1, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+    // Unknown kind under the right version.
+    assert!(decode_request(&[1, 0xee, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+}

@@ -4,8 +4,17 @@
 //! suggestion. Findings on `#[cfg(test)]` lines are dropped; findings on
 //! waived lines (see [`crate::scan::ALLOW_MARKER`]) are kept but flagged so
 //! the driver can count them without failing the build.
+//!
+//! `no_panics` and `guard_coverage` are AST queries over the token tree
+//! ([`crate::ast`]): panic-family calls are matched as tokens (so
+//! `unwrap_or_else` never needs a boundary hack) and loops are resolved
+//! structurally (a `node_count()` in straight-line code no longer marks the
+//! function as looping). `narrowing_cast` and `display_match` stay on the
+//! masked text, where substring matching is exact.
 
-use crate::scan::{ident_at, ident_before, SourceFile};
+use crate::analyze::FileModel;
+use crate::ast::TokKind;
+use crate::scan::{ident_at, SourceFile};
 use std::path::PathBuf;
 
 /// One lint finding.
@@ -34,18 +43,20 @@ pub const NARROWING_CAST: &str = "narrowing_cast";
 pub const GUARD_COVERAGE: &str = "guard_coverage";
 /// Rule id for exhaustive `Display` impls on `*Error` enums.
 pub const DISPLAY_MATCH: &str = "display_match";
+/// Rule id for waiver comments that no longer suppress anything.
+pub const STALE_WAIVER: &str = "stale_waiver";
 
 /// Runs every applicable rule over one file. `guard_scope` enables the
 /// guard-coverage rule (it applies to `crates/core` and `crates/serve`,
 /// where ungoverned loops could run unbounded work).
-pub fn check_file(f: &SourceFile, guard_scope: bool) -> Vec<Finding> {
+pub fn check_file(fm: &FileModel, guard_scope: bool) -> Vec<Finding> {
     let mut out = Vec::new();
-    no_panics(f, &mut out);
-    narrowing_cast(f, &mut out);
+    no_panics(fm, &mut out);
+    narrowing_cast(&fm.source, &mut out);
     if guard_scope {
-        guard_coverage(f, &mut out);
+        guard_coverage(fm, &mut out);
     }
-    display_match(f, &mut out);
+    display_match(&fm.source, &mut out);
     out.sort_by_key(|x| (x.line, x.rule));
     out
 }
@@ -72,37 +83,55 @@ fn push(
 }
 
 /// `no_panics`: bans `.unwrap()`, `.expect(...)`, `panic!`, `todo!`, and
-/// `unimplemented!` in non-test library code.
-fn no_panics(f: &SourceFile, out: &mut Vec<Finding>) {
+/// `unimplemented!` in non-test library code. Matched as tokens: the macro
+/// form is an identifier directly followed by `!`, the method form is
+/// `.` + identifier + `(` — so `unwrap_or_else` or `should_panic` can
+/// never match by construction.
+fn no_panics(fm: &FileModel, out: &mut Vec<Finding>) {
     const SUGGESTION: &str = "return an error (QueryError/RdbError/HeapError) or document the \
          invariant with `// xtask-allow: no_panics — <why>`";
-    for (needle, label) in [
-        (".unwrap(", "`.unwrap()`"),
-        (".expect(", "`.expect(...)`"),
-        ("panic!", "`panic!`"),
-        ("todo!", "`todo!`"),
-        ("unimplemented!", "`unimplemented!`"),
-    ] {
-        let mut search = 0;
-        while let Some(rel) = f.masked[search..].find(needle) {
-            let pos = search + rel;
-            search = pos + needle.len();
-            // Token boundaries: `.unwrap(` must not be `.unwrap_or(`;
-            // `panic!` must not be `some_panic!`.
-            if needle.starts_with('.') {
-                // The needle ends in '('; the method name is already exact.
-            } else if ident_before(&f.masked, pos) {
-                continue;
+    let ast = &fm.ast;
+    for i in 0..ast.toks.len() {
+        match ast.toks[i].kind {
+            TokKind::Ident => {
+                let label = match ast.text(i) {
+                    "panic" => "`panic!`",
+                    "todo" => "`todo!`",
+                    "unimplemented" => "`unimplemented!`",
+                    _ => continue,
+                };
+                if ast.is_punct(i + 1, '!') {
+                    push(
+                        &fm.source,
+                        out,
+                        NO_PANICS,
+                        ast.line(&fm.source, i),
+                        format!("{label} in non-test library code"),
+                        SUGGESTION,
+                    );
+                }
             }
-            let line = f.line_of(pos);
-            push(
-                f,
-                out,
-                NO_PANICS,
-                line,
-                format!("{label} in non-test library code"),
-                SUGGESTION,
-            );
+            TokKind::Punct('.') => {
+                let Some(name) = ast.ident(i + 1) else {
+                    continue;
+                };
+                let label = match name {
+                    "unwrap" => "`.unwrap()`",
+                    "expect" => "`.expect(...)`",
+                    _ => continue,
+                };
+                if ast.toks.get(i + 2).map(|t| t.kind) == Some(TokKind::Open('(')) {
+                    push(
+                        &fm.source,
+                        out,
+                        NO_PANICS,
+                        ast.line(&fm.source, i + 1),
+                        format!("{label} in non-test library code"),
+                        SUGGESTION,
+                    );
+                }
+            }
+            _ => {}
         }
     }
 }
@@ -163,7 +192,7 @@ fn preceding_ident(masked: &str, pos: usize) -> &str {
 /// bypass the execution governor. Parallel entry points are held to the
 /// same bar as serial loops: a fan-out without a shared guard cannot be
 /// cancelled mid-batch.
-fn guard_coverage(f: &SourceFile, out: &mut Vec<Finding>) {
+fn guard_coverage(fm: &FileModel, out: &mut Vec<Finding>) {
     const SUGGESTION: &str = "accept `&RunGuard` (or delegate to a `*_guarded` variant) so the \
          execution governor can interrupt the loop";
     const LOOP_MARKS: [&str; 6] = [
@@ -177,39 +206,34 @@ fn guard_coverage(f: &SourceFile, out: &mut Vec<Finding>) {
         "read_frame(",
     ];
     const PAR_MARKS: [&str; 4] = ["thread::scope", ".spawn(", ".map_init(", "par.map("];
-    let mut search = 0;
-    while let Some(rel) = f.masked[search..].find("pub fn ") {
-        let pos = search + rel;
-        search = pos + "pub fn ".len();
-        if ident_before(&f.masked, pos) {
+    let ast = &fm.ast;
+    for f in &ast.fns {
+        if !f.is_pub {
             continue;
         }
-        let line = f.line_of(pos);
-        let name: String = f.masked[pos + "pub fn ".len()..]
-            .chars()
-            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-            .collect();
-        // Find the body: first '{' before any ';' at this nesting level
-        // (a ';' first means a bodyless trait signature).
-        let rest = &f.masked[pos..];
-        let open_rel = match (rest.find('{'), rest.find(';')) {
-            (Some(b), Some(s)) if s < b => continue,
-            (Some(b), _) => b,
-            (None, _) => continue,
+        let Some((open, close)) = f.body else {
+            continue;
         };
-        let open = pos + open_rel;
-        let close = matching_brace(&f.masked, open);
-        let signature = &f.masked[pos..open];
-        let body = &f.masked[open..close];
-        let loops = (body.contains("for ") || body.contains("while "))
-            && LOOP_MARKS.iter().any(|m| body.contains(m));
+        // Structural loop resolution: a mark only counts inside an actual
+        // `for`/`while`/`loop` span (header included, so a frame-pump in a
+        // `while let` condition is governed too). Straight-line calls to
+        // `node_count()` no longer mark the function as looping.
+        let loops = ast.loops_in(open + 1, close).into_iter().any(|(lo, hi)| {
+            let t = ast.span_text(lo, hi);
+            LOOP_MARKS.iter().any(|m| t.contains(m))
+        });
+        let body = ast.span_text(open, close);
         let fans_out = PAR_MARKS.iter().any(|m| body.contains(m));
         if !loops && !fans_out {
             continue;
         }
-        let guarded = signature.to_lowercase().contains("guard")
-            || body.contains("guard")
-            || body.contains("Guard");
+        // Guarded when any identifier in the signature or body names a
+        // guard (`guard`, `RunGuard`, `scan_guarded`, `guard_cancel`, ...).
+        let (sig_lo, _) = f.sig;
+        let guarded = (sig_lo..=close).any(|i| {
+            ast.ident(i)
+                .is_some_and(|id| id.to_ascii_lowercase().contains("guard"))
+        });
         if !guarded {
             let what = if fans_out {
                 "fans work out across threads"
@@ -217,11 +241,11 @@ fn guard_coverage(f: &SourceFile, out: &mut Vec<Finding>) {
                 "loops over graph nodes"
             };
             push(
-                f,
+                &fm.source,
                 out,
                 GUARD_COVERAGE,
-                line,
-                format!("`pub fn {name}` {what} without a RunGuard"),
+                f.line,
+                format!("`pub fn {}` {what} without a RunGuard", f.name),
                 SUGGESTION,
             );
         }
@@ -356,8 +380,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn findings(src: &str, in_core: bool) -> Vec<Finding> {
-        let f = SourceFile::from_text(PathBuf::from("seed.rs"), src.to_string());
-        check_file(&f, in_core)
+        let fm = FileModel::parse(PathBuf::from("seed.rs"), src.to_string());
+        check_file(&fm, in_core)
     }
 
     fn live(src: &str, in_core: bool) -> Vec<Finding> {

@@ -38,6 +38,19 @@ pub struct SourceFile {
     pub waivers: BTreeSet<(usize, String)>,
     /// Rule ids waived for the whole file.
     pub file_waivers: BTreeSet<String>,
+    /// Every waiver comment occurrence, for stale-waiver auditing.
+    pub waiver_sites: Vec<WaiverSite>,
+}
+
+/// One `xtask-allow` comment occurrence (one per rule it names).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverSite {
+    /// 1-based line of the waiver comment.
+    pub line: usize,
+    /// The rule id it waives.
+    pub rule: String,
+    /// True for `xtask-allow-file` (whole-file) waivers.
+    pub file_level: bool,
 }
 
 impl SourceFile {
@@ -46,7 +59,7 @@ impl SourceFile {
         let masked = mask(&text);
         let line_starts = line_starts(&text);
         let test_lines = test_lines(&masked, &line_starts);
-        let (waivers, file_waivers) = collect_waivers(&text, &line_starts);
+        let (waivers, file_waivers, waiver_sites) = collect_waivers(&text, &line_starts);
         SourceFile {
             path,
             masked,
@@ -54,6 +67,7 @@ impl SourceFile {
             test_lines,
             waivers,
             file_waivers,
+            waiver_sites,
         }
     }
 
@@ -302,23 +316,34 @@ fn test_lines(masked: &str, line_starts: &[usize]) -> Vec<bool> {
 fn collect_waivers(
     text: &str,
     line_starts: &[usize],
-) -> (BTreeSet<(usize, String)>, BTreeSet<String>) {
+) -> (BTreeSet<(usize, String)>, BTreeSet<String>, Vec<WaiverSite>) {
     let mut line_waivers = BTreeSet::new();
     let mut file_waivers = BTreeSet::new();
+    let mut sites = Vec::new();
     for (idx, start) in line_starts.iter().enumerate() {
         let end = line_starts.get(idx + 1).copied().unwrap_or(text.len());
         let line = &text[*start..end];
         if let Some(pos) = line.find(ALLOW_FILE_MARKER) {
             for rule in parse_rule_list(&line[pos + ALLOW_FILE_MARKER.len()..]) {
+                sites.push(WaiverSite {
+                    line: idx + 1,
+                    rule: rule.clone(),
+                    file_level: true,
+                });
                 file_waivers.insert(rule);
             }
         } else if let Some(pos) = line.find(ALLOW_MARKER) {
             for rule in parse_rule_list(&line[pos + ALLOW_MARKER.len()..]) {
+                sites.push(WaiverSite {
+                    line: idx + 1,
+                    rule: rule.clone(),
+                    file_level: false,
+                });
                 line_waivers.insert((idx + 1, rule));
             }
         }
     }
-    (line_waivers, file_waivers)
+    (line_waivers, file_waivers, sites)
 }
 
 /// Parses `rule_a, rule_b — free-form reason` into the rule ids.
@@ -337,16 +362,8 @@ fn parse_rule_list(rest: &str) -> Vec<String> {
         .collect()
 }
 
-/// Whether the byte before `pos` could continue an identifier (used for
+/// Whether the byte at `pos` could continue an identifier (used for
 /// token-boundary matching).
-pub fn ident_before(masked: &str, pos: usize) -> bool {
-    pos > 0 && {
-        let b = masked.as_bytes()[pos - 1];
-        b.is_ascii_alphanumeric() || b == b'_'
-    }
-}
-
-/// Whether the byte at `pos` could continue an identifier.
 pub fn ident_at(masked: &str, pos: usize) -> bool {
     masked
         .as_bytes()
