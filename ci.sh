@@ -52,6 +52,27 @@ test -n "$SERVE_ADDR" || { echo "daemon never bound"; kill "$SERVE_PID"; exit 1;
 "${EXPLORE[@]}" client --addr "$SERVE_ADDR" shutdown >/dev/null
 wait "$SERVE_PID"
 
+# Warm-start lane: persist the engine as a CGPH v2 container, restart the
+# daemon against it (no rebuild — the container's keyword map becomes the
+# vocabulary), and query it; then the io lane asserts mmap-loaded and
+# heap-built graphs answer bit-identically (exit non-zero otherwise).
+echo "==> warm-start lane (save container, serve from it, query)"
+cargo run --quiet --release -p comm-serve --example warm_bundle -- 8 /tmp/warm_ci.cgph
+"${EXPLORE[@]}" serve --addr 127.0.0.1:0 --graph /tmp/warm_ci.cgph >/tmp/serve_warm.out 2>/dev/null &
+WARM_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" /tmp/serve_warm.out && break
+    sleep 0.1
+done
+WARM_ADDR=$(sed -n 's/listening on //p' /tmp/serve_warm.out)
+test -n "$WARM_ADDR" || { echo "warm daemon never bound"; kill "$WARM_PID"; exit 1; }
+"${EXPLORE[@]}" client --addr "$WARM_ADDR" query alpha beta >/dev/null
+"${EXPLORE[@]}" client --addr "$WARM_ADDR" shutdown >/dev/null
+wait "$WARM_PID"
+
+echo "==> io lane (cold build vs v1 load vs v2 mmap, bit-identical answers)"
+cargo run --quiet --release -p comm-serve --example io_bench -- --side 64 /tmp/BENCH_io_ci.json
+
 echo "==> xtask self-tests"
 cargo test -q --release --manifest-path xtask/Cargo.toml
 

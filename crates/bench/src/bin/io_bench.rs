@@ -1,0 +1,268 @@
+//! `io_bench` — the persistence lane over the synthetic DBLP dataset:
+//! cold rebuild-from-RDB vs CGPH v1 edge-list load vs CGPH v2 container
+//! mmap, written to `BENCH_io.json`.
+//!
+//! ```bash
+//! cargo run --release -p comm-bench --bin io_bench -- --scale full
+//! ```
+//!
+//! The cold lane is the full warm-start opponent: relational database
+//! generation, graph materialization, and keyword-map lift. The v2 lane
+//! is one `load_bundle` of the persisted container (header + TOC +
+//! checksum verification, then mmap — no parse, no CSR rebuild). `--large`
+//! swaps in [`DblpConfig::large_scale`], the ~1M-tuple setting sized so
+//! the container clears the page cache's noise floor.
+//!
+//! The std-only `comm-serve` example of the same name writes the same
+//! report shape for the offline torus workload; this binary is the one
+//! EXPERIMENTS.md cites for the sampled-DBLP acceptance numbers.
+//!
+//! Besides timings, the run asserts the warm-start contract: a
+//! `QueryEngine` over the mmap-loaded bundle must answer the benchmark
+//! query bit-identically to one over a heap-built graph.
+
+use comm_bench::MachineInfo;
+use comm_datasets::cache::{load_bundle, save_bundle_with_index};
+use comm_datasets::workload::{query_keywords, DBLP_GRID, DBLP_KEYWORD_GROUPS};
+use comm_datasets::{generate_dblp, DblpConfig};
+use comm_graph::io::{load_graph, save_graph};
+use comm_graph::{NodeId, RunGuard};
+use comm_serve::{summarize, EngineConfig, QueryEngine};
+use std::collections::HashMap;
+use std::time::Instant;
+
+struct Options {
+    out: String,
+    scale: f64,
+    large: bool,
+}
+
+const HELP: &str = "\
+usage: io_bench [options]
+
+options:
+  --out PATH   where to write the report (default BENCH_io.json)
+  --scale F    DblpConfig::default().scaled(F) (default 2.0, the canonical
+               benchmark scale; ~0.3 is the quick smoke setting)
+  --large      use DblpConfig::large_scale() instead of --scale
+  --help       this text";
+
+fn parse(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        out: "BENCH_io.json".to_owned(),
+        scale: 2.0,
+        large: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--out" => opts.out = value("--out")?,
+            "--scale" => {
+                let v = value("--scale")?;
+                opts.scale = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--scale: '{v}' is not a number"))?;
+            }
+            "--large" => opts.large = true,
+            other => return Err(format!("unknown option '{other}' (try --help)")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            println!("{HELP}");
+            return;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let config = if opts.large {
+        DblpConfig::large_scale()
+    } else {
+        DblpConfig::default().scaled(opts.scale)
+    };
+    let workload = if opts.large {
+        "dblp-synthetic-large"
+    } else {
+        "dblp-synthetic"
+    };
+    let dir = std::env::temp_dir().join(format!("comm_io_bench_{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: cannot create scratch dir {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+
+    // Lane 1: cold rebuild-from-RDB — generate the relational database,
+    // materialize the weighted graph, lift the keyword map. This is what
+    // every run without a warm bundle pays before the first query.
+    eprintln!("cold lane: generating {workload} ...");
+    let t0 = Instant::now();
+    let ds = generate_dblp(&config);
+    let cold_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (n, m) = (ds.graph.graph.node_count(), ds.graph.graph.edge_count());
+    eprintln!("  {n} nodes / {m} edges in {cold_build_ms:.0} ms");
+
+    // Lane 2: v1 edge-list file — save, then the parsing load path (read
+    // every edge record, re-run the CSR builder).
+    let v1_path = dir.join("dblp.v1.cgph");
+    let t0 = Instant::now();
+    if let Err(e) = save_graph(&ds.graph.graph, &v1_path) {
+        eprintln!("error: v1 save failed: {e}");
+        std::process::exit(1);
+    }
+    let v1_save_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let v1_bytes = std::fs::metadata(&v1_path).map_or(0, |m| m.len());
+    let t0 = Instant::now();
+    let v1_graph = match load_graph(&v1_path) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: v1 load failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let v1_load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(v1_graph.node_count(), n);
+    assert_eq!(v1_graph.edge_count(), m);
+
+    // Lane 3: v2 container — save the graph + keyword map once, then the
+    // mmap load path.
+    let entries: Vec<(&str, &[NodeId])> = ds.graph.keywords().collect();
+    let v2_path = dir.join("dblp.v2.cgph");
+    let t0 = Instant::now();
+    if let Err(e) = save_bundle_with_index(&v2_path, &ds.graph.graph, entries.iter().copied(), None)
+    {
+        eprintln!("error: v2 save failed: {e}");
+        std::process::exit(1);
+    }
+    let v2_save_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let v2_bytes = std::fs::metadata(&v2_path).map_or(0, |m| m.len());
+    let t0 = Instant::now();
+    let bundle = match load_bundle(&v2_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: v2 load failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let v2_load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(bundle.graph.node_count(), n);
+    assert_eq!(bundle.graph.edge_count(), m);
+    let mapped = bundle.graph.is_mapped();
+    drop(bundle);
+
+    // Warm-start contract: the engine over the mapped bundle answers the
+    // benchmark default query bit-identically to one over a heap-built
+    // graph (the v1-parsed CSR, which round-trips the built graph exactly).
+    let vocab: HashMap<String, Vec<NodeId>> = ds
+        .graph
+        .keywords()
+        .map(|(kw, nodes)| (kw.to_owned(), nodes.to_vec()))
+        .collect();
+    let heap = match QueryEngine::new(v1_graph, vocab, EngineConfig::default()) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: heap engine failed to build: {e}");
+            std::process::exit(1);
+        }
+    };
+    let warm = match QueryEngine::from_container(&v2_path, EngineConfig::default()) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: warm engine failed to load: {e}");
+            std::process::exit(1);
+        }
+    };
+    let (kwf, l, rmax, k) = DBLP_GRID.defaults;
+    let kws: Vec<String> = query_keywords(DBLP_KEYWORD_GROUPS, kwf, l)
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+    let k = u32::try_from(k).unwrap_or(u32::MAX);
+    let guard = RunGuard::unlimited();
+    let identical = match (
+        heap.answer(&kws, rmax, k, &guard),
+        warm.answer(&kws, rmax, k, &guard),
+    ) {
+        (Ok(a), Ok(b)) => {
+            let a: Vec<_> = a.value().iter().map(summarize).collect();
+            let b: Vec<_> = b.value().iter().map(summarize).collect();
+            !a.is_empty() && a == b
+        }
+        (a, b) => {
+            eprintln!(
+                "error: benchmark query failed: heap={:?} warm={:?}",
+                a.err(),
+                b.err()
+            );
+            false
+        }
+    };
+
+    std::fs::remove_dir_all(&dir).ok();
+
+    let speedup_vs_cold = cold_build_ms / v2_load_ms;
+    let speedup_vs_v1 = v1_load_ms / v2_load_ms;
+    let doc = serde_json::json!({
+        "machine": MachineInfo::capture(),
+        "workload": workload,
+        "nodes": n,
+        "edges": m,
+        "cold_build_ms": round3(cold_build_ms),
+        "v1_file_bytes": v1_bytes,
+        "v1_save_ms": round3(v1_save_ms),
+        "v1_load_ms": round3(v1_load_ms),
+        "v2_file_bytes": v2_bytes,
+        "v2_save_ms": round3(v2_save_ms),
+        "v2_mmap_load_ms": round3(v2_load_ms),
+        "v2_mapped": mapped,
+        "speedup_v2_vs_cold_build": round1(speedup_vs_cold),
+        "speedup_v2_vs_v1_load": round1(speedup_vs_v1),
+        "answers_bit_identical": identical,
+    });
+    let json = match serde_json::to_string_pretty(&doc) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: report did not serialize: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&opts.out, json + "\n") {
+        eprintln!("error: could not write {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {}: cold {cold_build_ms:.0} ms, v1 load {v1_load_ms:.0} ms, \
+         v2 mmap {v2_load_ms:.0} ms ({speedup_vs_cold:.0}x vs cold, {speedup_vs_v1:.0}x vs v1)",
+        opts.out,
+    );
+    if !identical {
+        eprintln!("mapped vs heap answers DIVERGED");
+        std::process::exit(1);
+    }
+    if !(mapped || cfg!(not(unix))) {
+        eprintln!("v2 load did not map on a unix host");
+        std::process::exit(1);
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1e3).round() / 1e3
+}
+
+fn round1(v: f64) -> f64 {
+    (v * 10.0).round() / 10.0
+}

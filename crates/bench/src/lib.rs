@@ -11,5 +11,5 @@ pub mod setup;
 pub mod table;
 
 pub use parallel::{BatchQuery, BatchReport, BatchRunner, LatencyStats, MachineInfo};
-pub use setup::{Prepared, Scale};
+pub use setup::{IndexSource, Prepared, Scale};
 pub use table::Table;

@@ -22,7 +22,9 @@ use std::time::Duration;
 pub const SERVE_HELP: &str = "\
 usage: comm-explore serve [options]
 
-Runs the resident community-query daemon on a synthetic torus graph.
+Runs the resident community-query daemon on a synthetic torus graph, or
+— with --graph — on a saved CGPH v2 container, memory-mapped so startup
+does no edge parsing however large the graph is.
 Prints `listening on ADDR` once the socket is bound (bind port 0 and
 parse that line to discover the ephemeral port), then serves until
 Ctrl-C or a client `shutdown` request — both drain in-flight queries
@@ -30,6 +32,8 @@ through their RunGuards before exiting.
 
 options:
   --addr HOST:PORT      bind address (default 127.0.0.1:7654)
+  --graph PATH          serve a saved CGPH container (its keyword map
+                        becomes the vocabulary; --side is ignored)
   --side N              torus side; the graph has N*N nodes (default 16)
   --threads N           engine worker threads (default 2)
   --max-inflight N      queries executing concurrently (default 2)
@@ -70,6 +74,7 @@ exit codes: 0 complete, 1 transport/server failure, 2 usage,
 
 struct ServeOptions {
     addr: String,
+    graph: Option<String>,
     side: usize,
     threads: usize,
     max_inflight: usize,
@@ -83,6 +88,7 @@ struct ServeOptions {
 fn parse_serve(args: &[String]) -> Result<Option<ServeOptions>, String> {
     let mut opts = ServeOptions {
         addr: "127.0.0.1:7654".to_owned(),
+        graph: None,
         side: 16,
         threads: 2,
         max_inflight: 2,
@@ -102,6 +108,7 @@ fn parse_serve(args: &[String]) -> Result<Option<ServeOptions>, String> {
         match arg.as_str() {
             "--help" | "-h" => return Ok(None),
             "--addr" => opts.addr = value("--addr")?,
+            "--graph" => opts.graph = Some(value("--graph")?),
             "--side" => opts.side = parse_num(&value("--side")?, "--side")?,
             "--threads" => opts.threads = parse_num(&value("--threads")?, "--threads")?,
             "--max-inflight" => {
@@ -170,26 +177,41 @@ pub fn run_serve(args: &[String], cancel: Arc<AtomicBool>) -> i32 {
         }
     };
 
-    let engine = match comm_serve::synthetic_engine(
-        opts.side,
-        EngineConfig {
-            parallelism: comm_graph::Parallelism::new(opts.threads),
-            ..EngineConfig::default()
-        },
-    ) {
-        Ok(e) => Arc::new(e),
-        Err(e) => {
-            eprintln!("error: engine failed to build: {e}");
-            return exit_codes::RUNTIME;
-        }
+    let cfg = EngineConfig {
+        parallelism: comm_graph::Parallelism::new(opts.threads),
+        ..EngineConfig::default()
     };
-    eprintln!(
-        "synthetic torus {}x{} — n={} m={}",
-        opts.side,
-        opts.side,
-        engine.graph().node_count(),
-        engine.graph().edge_count()
-    );
+    let engine = match &opts.graph {
+        Some(path) => match comm_serve::QueryEngine::from_container(path, cfg) {
+            Ok(e) => Arc::new(e),
+            Err(e) => {
+                eprintln!("error: cannot load container '{path}': {e}");
+                return exit_codes::RUNTIME;
+            }
+        },
+        None => match comm_serve::synthetic_engine(opts.side, cfg) {
+            Ok(e) => Arc::new(e),
+            Err(e) => {
+                eprintln!("error: engine failed to build: {e}");
+                return exit_codes::RUNTIME;
+            }
+        },
+    };
+    match &opts.graph {
+        Some(path) => eprintln!(
+            "container {path} — n={} m={} (mapped: {})",
+            engine.graph().node_count(),
+            engine.graph().edge_count(),
+            engine.graph().is_mapped(),
+        ),
+        None => eprintln!(
+            "synthetic torus {}x{} — n={} m={}",
+            opts.side,
+            opts.side,
+            engine.graph().node_count(),
+            engine.graph().edge_count()
+        ),
+    }
 
     let handle = match spawn(
         engine,
@@ -464,6 +486,7 @@ mod tests {
         let o = parse_serve(&[]).unwrap().unwrap();
         assert_eq!(o.addr, "127.0.0.1:7654");
         assert_eq!(o.side, 16);
+        assert!(o.graph.is_none());
         assert_eq!(o.max_inflight, 2);
         assert!(o.chaos.trip_queries_after.is_none());
         let o = parse_serve(&s(&[
@@ -479,11 +502,14 @@ mod tests {
             "10",
             "--chaos-delay",
             "5:20",
+            "--graph",
+            "/tmp/bundle.cgph",
         ]))
         .unwrap()
         .unwrap();
         assert_eq!(o.addr, "127.0.0.1:0");
         assert_eq!(o.side, 8);
+        assert_eq!(o.graph.as_deref(), Some("/tmp/bundle.cgph"));
         assert_eq!(o.max_inflight, 1);
         assert_eq!(o.max_queue, 0);
         assert_eq!(o.chaos.trip_queries_after, Some(10));

@@ -8,18 +8,55 @@
 
 use comm_core::trees::topk_trees;
 use comm_core::{CommK, CostFn, ProjectionIndex, QuerySpec, RunGuard};
+use comm_datasets::cache::{bundle_path, cache_dir, load_bundle, save_bundle, GraphBundle};
 use comm_datasets::stats::dataset_stats;
 use comm_datasets::{generate_dblp, generate_imdb, DblpConfig, GeneratedDataset, ImdbConfig};
 use comm_graph::{NodeId, Weight};
 use comm_rdb::ColumnId;
 use std::fmt::Write as _;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// What the session serves queries from: a full generated dataset (graph
+/// + relational database, so answers carry tuple labels), or a warm
+/// graph bundle mapped back from the `COMM_BENCH_CACHE` directory — the
+/// database is not persisted, so labels degrade to node ids, but loading
+/// skips generation entirely.
+enum LoadedData {
+    Full(GeneratedDataset),
+    Warm { name: String, bundle: GraphBundle },
+}
+
+impl LoadedData {
+    fn graph(&self) -> &comm_graph::Graph {
+        match self {
+            LoadedData::Full(ds) => &ds.graph.graph,
+            LoadedData::Warm { bundle, .. } => &bundle.graph,
+        }
+    }
+
+    fn keyword_nodes(&self, kw: &str) -> &[NodeId] {
+        match self {
+            LoadedData::Full(ds) => ds.graph.keyword_nodes(kw),
+            LoadedData::Warm { bundle, .. } => bundle.keyword_nodes(kw),
+        }
+    }
+
+    /// A human label for a graph node: the owning tuple when the database
+    /// is resident, the bare node id on a warm bundle.
+    fn describe(&self, node: NodeId) -> String {
+        match self {
+            LoadedData::Full(ds) => describe_static(ds, node),
+            LoadedData::Warm { .. } => format!("node#{}", node.0),
+        }
+    }
+}
+
 /// A loaded dataset plus the state of the current query.
 pub struct Session {
-    dataset: Option<GeneratedDataset>,
+    dataset: Option<LoadedData>,
     default_rmax: f64,
     /// The current query's projected graph and spec (owned).
     current: Option<ActiveQuery>,
@@ -56,19 +93,61 @@ impl Session {
         }
     }
 
-    /// Loads (generates) a dataset. Returns a status line, or an error
-    /// naming the valid datasets — an unknown name must never silently
-    /// fall back to a default.
+    /// Loads a dataset: from the warm bundle cache when `COMM_BENCH_CACHE`
+    /// holds a matching graph bundle (mmap, no generation, node-id
+    /// labels), else by generating it (and priming the cache for next
+    /// time). Returns a status line, or an error naming the valid
+    /// datasets — an unknown name must never silently fall back to a
+    /// default.
     pub fn load(&mut self, which: &str, scale: f64) -> Result<String, String> {
-        let (ds, rmax) = match which {
-            "dblp" => (generate_dblp(&DblpConfig::default().scaled(scale)), 6.0),
-            "imdb" => (generate_imdb(&ImdbConfig::default().scaled(scale)), 11.0),
+        self.load_with_cache(which, scale, cache_dir().as_deref())
+    }
+
+    /// [`Session::load`] with an explicit cache directory (`None`
+    /// disables the warm path; exposed for tests).
+    pub fn load_with_cache(
+        &mut self,
+        which: &str,
+        scale: f64,
+        cache: Option<&Path>,
+    ) -> Result<String, String> {
+        let rmax = match which {
+            "dblp" => 6.0,
+            "imdb" => 11.0,
             other => {
                 return Err(format!(
                     "unknown dataset {other:?} — valid datasets: dblp, imdb"
                 ))
             }
         };
+        let key = format!("{which}-s{scale}-session");
+        if let Some(dir) = cache {
+            if let Ok(bundle) = load_bundle(bundle_path(dir, &key)) {
+                let line = format!(
+                    "loaded {which} from warm cache: graph {} nodes / {} edges (default rmax {rmax}; tuple labels unavailable)",
+                    bundle.graph.node_count(),
+                    bundle.graph.edge_count(),
+                );
+                self.dataset = Some(LoadedData::Warm {
+                    name: which.to_owned(),
+                    bundle,
+                });
+                self.default_rmax = rmax;
+                self.current = None;
+                return Ok(line);
+            }
+        }
+        let ds = match which {
+            "dblp" => generate_dblp(&DblpConfig::default().scaled(scale)),
+            _ => generate_imdb(&ImdbConfig::default().scaled(scale)),
+        };
+        if let Some(dir) = cache {
+            // Prime the warm cache best-effort: the session works the same
+            // whether or not the bundle reached disk.
+            if std::fs::create_dir_all(dir).is_ok() {
+                save_bundle(bundle_path(dir, &key), &ds.graph.graph, ds.graph.keywords()).ok();
+            }
+        }
         let line = format!(
             "loaded {}: {} tuples, graph {} nodes / {} edges (default rmax {})",
             ds.name,
@@ -77,7 +156,7 @@ impl Session {
             ds.graph.graph.edge_count(),
             rmax
         );
-        self.dataset = Some(ds);
+        self.dataset = Some(LoadedData::Full(ds));
         self.default_rmax = rmax;
         self.current = None;
         Ok(line)
@@ -124,7 +203,7 @@ impl Session {
             .ok_or("no dataset — try 'load dblp'")?;
         let rmax = rmax.unwrap_or(self.default_rmax);
         for kw in keywords {
-            if ds.graph.keyword_nodes(kw).is_empty() {
+            if ds.keyword_nodes(kw).is_empty() {
                 return Err(format!(
                     "keyword {kw:?} matches nothing (benchmark keywords: see Tables III/V, e.g. 'database', 'star')"
                 ));
@@ -136,11 +215,10 @@ impl Session {
         let guard = self.guard();
         let entries: Vec<(&str, &[NodeId])> = keywords
             .iter()
-            .map(|kw| (kw.as_str(), ds.graph.keyword_nodes(kw)))
+            .map(|kw| (kw.as_str(), ds.keyword_nodes(kw)))
             .collect();
-        let index =
-            ProjectionIndex::build_guarded(&ds.graph.graph, entries, Weight::new(rmax), &guard)
-                .map_err(|r| format!("query interrupted while indexing ({r})"))?;
+        let index = ProjectionIndex::build_guarded(ds.graph(), entries, Weight::new(rmax), &guard)
+            .map_err(|r| format!("query interrupted while indexing ({r})"))?;
         let refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
         let pq = index
             .try_project(&refs, Weight::new(rmax), &guard)
@@ -197,7 +275,7 @@ impl Session {
             );
             for (kw, &local) in q.keywords.iter().zip(&c.core.0) {
                 let orig = q.original_ids[local.index()];
-                let _ = writeln!(out, "    {kw}: {}", describe_static(ds, orig));
+                let _ = writeln!(out, "    {kw}: {}", ds.describe(orig));
             }
         }
         if let Some(reason) = it.interrupted() {
@@ -227,7 +305,7 @@ impl Session {
                 "T{} weight {:.2}, root {} — {} edges",
                 i + 1,
                 t.weight.get(),
-                describe_static(ds, root),
+                ds.describe(root),
                 t.edges.len()
             );
         }
@@ -245,7 +323,7 @@ impl Session {
             None => format!("the query has fewer than {rank} communities"),
         })?;
         let dot = comm_core::dot::community_to_dot(&community, |local| {
-            describe_static(ds, q.original_ids[local.index()])
+            ds.describe(q.original_ids[local.index()])
         });
         match path {
             Some(p) => {
@@ -259,19 +337,30 @@ impl Session {
         }
     }
 
-    /// Dataset statistics.
+    /// Dataset statistics. Tuple-level statistics need the relational
+    /// database, so a warm bundle reports graph-level numbers only.
     pub fn stats(&self) -> Result<String, String> {
-        let ds = self.dataset.as_ref().ok_or("no dataset loaded")?;
-        let s = dataset_stats(ds, &[]);
-        Ok(format!(
-            "{}: {} tuples, {} edges, density {:.2}, max degree {}, top-1% degree share {:.1}%",
-            s.name,
-            s.tuples,
-            s.edges,
-            s.density,
-            s.degrees.max,
-            100.0 * s.degrees.top1_share
-        ))
+        match self.dataset.as_ref().ok_or("no dataset loaded")? {
+            LoadedData::Full(ds) => {
+                let s = dataset_stats(ds, &[]);
+                Ok(format!(
+                    "{}: {} tuples, {} edges, density {:.2}, max degree {}, top-1% degree share {:.1}%",
+                    s.name,
+                    s.tuples,
+                    s.edges,
+                    s.density,
+                    s.degrees.max,
+                    100.0 * s.degrees.top1_share
+                ))
+            }
+            LoadedData::Warm { name, bundle } => Ok(format!(
+                "{} (warm bundle): graph {} nodes / {} edges, {} keywords (tuple statistics need a generated dataset)",
+                name,
+                bundle.graph.node_count(),
+                bundle.graph.edge_count(),
+                bundle.keyword_nodes.len()
+            )),
+        }
     }
 
     /// Whether a dataset is loaded (used by the unit tests).
@@ -402,8 +491,47 @@ mod tests {
     fn describe_resolves_tables() {
         let s = loaded();
         let ds = s.dataset.as_ref().unwrap();
-        let node = ds.graph.keyword_nodes("database")[0];
-        let d = describe_static(ds, node);
+        let node = ds.keyword_nodes("database")[0];
+        let d = ds.describe(node);
         assert!(d.starts_with("Paper("), "{d}");
+    }
+
+    #[test]
+    fn warm_cache_load_skips_generation_and_still_answers() {
+        let dir = std::env::temp_dir().join(format!(
+            "comm_cli_session_warm_{}_{}",
+            std::process::id(),
+            line!()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // First load generates and primes the cache (full tuple labels).
+        let mut cold = Session::new();
+        let line = cold.load_with_cache("dblp", 0.3, Some(&dir)).unwrap();
+        assert!(line.contains("tuples"), "{line}");
+        let cold_out = cold.query(&["database".into()], None, 2, false).unwrap();
+        assert!(cold_out.contains("Paper("), "{cold_out}");
+
+        // Second session maps the bundle: no generation, node-id labels,
+        // same community structure.
+        let mut warm = Session::new();
+        let line = warm.load_with_cache("dblp", 0.3, Some(&dir)).unwrap();
+        assert!(line.contains("warm cache"), "{line}");
+        let warm_out = warm.query(&["database".into()], None, 2, false).unwrap();
+        assert!(warm_out.contains("node#"), "{warm_out}");
+        // The ranked costs are a generation-independent fingerprint: they
+        // must agree between the generated and the mapped graph.
+        let costs = |out: &str| -> Vec<String> {
+            out.lines()
+                .filter(|l| l.contains(" cost "))
+                .map(str::to_owned)
+                .collect()
+        };
+        assert_eq!(costs(&cold_out), costs(&warm_out));
+        assert!(warm.stats().unwrap().contains("warm bundle"));
+
+        // Unknown datasets still fail fast, cache or not.
+        assert!(warm.load_with_cache("netflix", 1.0, Some(&dir)).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

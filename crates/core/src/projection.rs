@@ -457,7 +457,162 @@ impl ProjectionIndex {
             q.projected.graph.node_count() as f64 / self.node_count as f64
         }
     }
+
+    /// Serializes the index to a compact little-endian blob, suitable for
+    /// the *extra* section of a CGPH v2 container
+    /// ([`comm_graph::container`]) so a warm start restores the built
+    /// inverted indexes without re-running the per-keyword sweeps.
+    ///
+    /// Keywords are emitted in sorted order, so equal indexes encode to
+    /// identical bytes regardless of `HashMap` iteration order.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&CPIX_MAGIC);
+        out.extend_from_slice(&CPIX_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.radius.get().to_le_bytes());
+        out.extend_from_slice(&(self.node_count as u64).to_le_bytes());
+        let mut keys: Vec<&String> = self.entries.keys().collect();
+        keys.sort_unstable();
+        out.extend_from_slice(&(keys.len() as u64).to_le_bytes());
+        for kw in keys {
+            let entry = &self.entries[kw];
+            out.extend_from_slice(&index_to_u32(kw.len()).to_le_bytes());
+            out.extend_from_slice(kw.as_bytes());
+            out.extend_from_slice(&(entry.nodes.len() as u64).to_le_bytes());
+            for v in &entry.nodes {
+                out.extend_from_slice(&v.0.to_le_bytes());
+            }
+            out.extend_from_slice(&(entry.edges.len() as u64).to_le_bytes());
+            for (u, v, w) in &entry.edges {
+                out.extend_from_slice(&u.0.to_le_bytes());
+                out.extend_from_slice(&v.0.to_le_bytes());
+                out.extend_from_slice(&w.get().to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserializes an index previously written by
+    /// [`encode`](Self::encode), re-validating every invariant the query
+    /// paths rely on: lowercase distinct keys, sorted-distinct in-range
+    /// node lists, in-range edge endpoints, finite non-negative weights,
+    /// and exact input consumption. Counts are claims, never trusted for
+    /// allocation — every read is bounded by the actual remaining bytes
+    /// first, with speculative preallocation capped.
+    // xtask-allow: guard_coverage — loops are bounded by the length-checked blob, not graph size; callers charge the blob bytes to their RunGuard before decoding
+    pub fn decode(bytes: &[u8]) -> std::io::Result<ProjectionIndex> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let mut pos = 0usize;
+        let need = |pos: usize, want: usize| -> std::io::Result<()> {
+            if bytes.len() - pos < want {
+                Err(bad("projection index blob truncated"))
+            } else {
+                Ok(())
+            }
+        };
+        let take_u32 = |pos: &mut usize| -> std::io::Result<u32> {
+            need(*pos, 4)?;
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&bytes[*pos..*pos + 4]);
+            *pos += 4;
+            Ok(u32::from_le_bytes(b))
+        };
+        let take_u64 = |pos: &mut usize| -> std::io::Result<u64> {
+            need(*pos, 8)?;
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[*pos..*pos + 8]);
+            *pos += 8;
+            Ok(u64::from_le_bytes(b))
+        };
+        let take_f64 =
+            |pos: &mut usize| -> std::io::Result<f64> { Ok(f64::from_bits(take_u64(pos)?)) };
+        need(pos, 4)?;
+        if bytes[0..4] != CPIX_MAGIC {
+            return Err(bad("not a projection index blob"));
+        }
+        pos += 4;
+        if take_u32(&mut pos)? != CPIX_VERSION {
+            return Err(bad("unsupported projection index version"));
+        }
+        let radius =
+            Weight::try_new(take_f64(&mut pos)?).ok_or_else(|| bad("invalid index radius"))?;
+        if !radius.is_finite() {
+            return Err(bad("invalid index radius"));
+        }
+        let n64 = take_u64(&mut pos)?;
+        if n64 > u64::from(u32::MAX) + 1 {
+            return Err(bad("node count exceeds the u32 node-id space"));
+        }
+        let node_count =
+            usize::try_from(n64).map_err(|_| bad("node count exceeds host address width"))?;
+        let kw_count = take_u64(&mut pos)?;
+        let prealloc = usize::try_from(kw_count).unwrap_or(usize::MAX);
+        let mut entries = HashMap::with_capacity(prealloc.min(comm_graph::io::PREALLOC_CAP));
+        for _ in 0..kw_count {
+            let klen = take_u32(&mut pos)? as usize;
+            need(pos, klen)?;
+            let kw = std::str::from_utf8(&bytes[pos..pos + klen])
+                .map_err(|_| bad("keyword is not UTF-8"))?
+                .to_string();
+            pos += klen;
+            if kw != kw.to_lowercase() {
+                return Err(bad("keyword is not lowercase"));
+            }
+            let nlen = take_u64(&mut pos)?;
+            let nbytes = nlen
+                .checked_mul(4)
+                .and_then(|b| usize::try_from(b).ok())
+                .ok_or_else(|| bad("keyword node count overflows"))?;
+            need(pos, nbytes)?;
+            let mut nodes = Vec::with_capacity(nbytes / 4);
+            for _ in 0..nlen {
+                let v = NodeId(take_u32(&mut pos)?);
+                if v.index() >= node_count {
+                    return Err(bad("keyword node out of range"));
+                }
+                if nodes.last().is_some_and(|&prev| prev >= v) {
+                    return Err(bad("keyword node list not strictly increasing"));
+                }
+                nodes.push(v);
+            }
+            let elen = take_u64(&mut pos)?;
+            let ebytes = elen
+                .checked_mul(16)
+                .and_then(|b| usize::try_from(b).ok())
+                .ok_or_else(|| bad("keyword edge count overflows"))?;
+            need(pos, ebytes)?;
+            let mut edges = Vec::with_capacity(ebytes / 16);
+            for _ in 0..elen {
+                let u = NodeId(take_u32(&mut pos)?);
+                let v = NodeId(take_u32(&mut pos)?);
+                let w = Weight::try_new(take_f64(&mut pos)?)
+                    .ok_or_else(|| bad("invalid edge weight"))?;
+                if !w.is_finite() {
+                    return Err(bad("invalid edge weight"));
+                }
+                if u.index() >= node_count || v.index() >= node_count {
+                    return Err(bad("edge endpoint out of range"));
+                }
+                edges.push((u, v, w));
+            }
+            if entries.insert(kw, KeywordEntry { nodes, edges }).is_some() {
+                return Err(bad("duplicate keyword entry"));
+            }
+        }
+        if pos != bytes.len() {
+            return Err(bad("trailing bytes after the projection index"));
+        }
+        Ok(ProjectionIndex {
+            radius,
+            entries,
+            node_count,
+        })
+    }
 }
+
+/// Magic/version of the serialized [`ProjectionIndex`] blob.
+const CPIX_MAGIC: [u8; 4] = *b"CPIX";
+const CPIX_VERSION: u32 = 1;
 
 #[cfg(test)]
 mod tests {
@@ -748,6 +903,100 @@ mod tests {
             Parallelism::new(2),
         );
         assert_eq!(tripped.err(), Some(InterruptReason::SettledBudgetExhausted));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_is_lossless_and_deterministic() {
+        let (_, idx) = index(8.0);
+        let blob = idx.encode();
+        let back = ProjectionIndex::decode(&blob).unwrap();
+        assert_eq!(back.radius(), idx.radius());
+        assert_eq!(back.keyword_count(), idx.keyword_count());
+        assert_eq!(back.byte_size(), idx.byte_size());
+        assert_eq!(back.node_count, idx.node_count);
+        for kw in ["a", "b", "c"] {
+            assert_eq!(back.nodes_of(kw), idx.nodes_of(kw), "nodes of {kw}");
+            assert_eq!(back.edges_of(kw), idx.edges_of(kw), "edges of {kw}");
+        }
+        // Deterministic bytes: re-encoding the decoded index is identical
+        // (keywords are emitted sorted, not in HashMap order).
+        assert_eq!(back.encode(), blob);
+    }
+
+    #[test]
+    fn decoded_index_answers_queries_identically() {
+        let (_, idx) = index(8.0);
+        let back = ProjectionIndex::decode(&idx.encode()).unwrap();
+        let want = comm_k_on_index(
+            &idx,
+            &["a", "b", "c"],
+            Weight::new(FIG4_RMAX),
+            5,
+            CostFn::SumDistances,
+            RunGuard::unlimited(),
+        )
+        .unwrap()
+        .into_value();
+        let got = comm_k_on_index(
+            &back,
+            &["a", "b", "c"],
+            Weight::new(FIG4_RMAX),
+            5,
+            CostFn::SumDistances,
+            RunGuard::unlimited(),
+        )
+        .unwrap()
+        .into_value();
+        assert_eq!(want.len(), got.len());
+        for (a, b) in want.iter().zip(&got) {
+            assert_eq!(a.core, b.core);
+            assert_eq!(a.cost, b.cost);
+        }
+    }
+
+    #[test]
+    fn decode_truncation_corpus_every_prefix_is_a_clean_error() {
+        let (_, idx) = index(8.0);
+        let blob = idx.encode();
+        for cut in 0..blob.len() {
+            assert!(
+                ProjectionIndex::decode(&blob[..cut]).is_err(),
+                "cut {cut}/{} parsed instead of erroring",
+                blob.len()
+            );
+        }
+        assert!(ProjectionIndex::decode(&blob).is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_contract_violations() {
+        let (_, idx) = index(8.0);
+        let blob = idx.encode();
+        // Trailing garbage.
+        let mut b = blob.clone();
+        b.push(0);
+        assert!(ProjectionIndex::decode(&b).is_err());
+        // Bad magic / version.
+        let mut b = blob.clone();
+        b[0] = b'X';
+        assert!(ProjectionIndex::decode(&b).is_err());
+        let mut b = blob.clone();
+        b[4] = 99;
+        assert!(ProjectionIndex::decode(&b).is_err());
+        // NaN radius.
+        let mut b = blob.clone();
+        b[8..16].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(ProjectionIndex::decode(&b).is_err());
+        // Uppercase keyword: first key is "a" at magic(4) + version(4) +
+        // radius(8) + node_count(8) + kw_count(8) + klen(4) = offset 36.
+        let mut b = blob.clone();
+        assert_eq!(b[36], b'a');
+        b[36] = b'A';
+        assert!(ProjectionIndex::decode(&b).is_err());
+        // Hostile node-count claim must be rejected before preallocation.
+        let mut b = blob.clone();
+        b[16..24].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        assert!(ProjectionIndex::decode(&b).is_err());
     }
 
     #[test]

@@ -1,31 +1,55 @@
 //! On-disk caching of materialized query bundles.
 //!
 //! A *bundle* is everything the search layer needs from a dataset: the
-//! database graph plus the keyword → node-set map. Paper-scale generation
-//! takes ~a minute; loading the cached bundle takes ~a second, so the
-//! benchmark harness caches bundles keyed by configuration (see
-//! `comm-bench`'s `COMM_BENCH_CACHE`).
+//! database graph, the keyword → node-set map, and (optionally) an opaque
+//! serialized projection-index blob. Paper-scale generation takes ~a
+//! minute; mapping a cached bundle back in is near-instant, so the load
+//! paths (bench setup, the CLI session, the daemon) cache bundles keyed
+//! by configuration under the directory named by the `COMM_BENCH_CACHE`
+//! environment variable — see [`load_or_generate`]. Unset means caching
+//! is disabled and every load generates from scratch.
+//!
+//! New bundles are written as CGPH v2 containers
+//! ([`comm_graph::container`]): the CSR arrays land as fixed-width
+//! checksummed sections that load by `mmap` without a parse step, the
+//! keyword map rides in the keywords section, and the index blob in the
+//! extra section. The legacy CBDL v1 edge-list format is still readable
+//! for migration ([`load_bundle`] dispatches on the magic), but saves
+//! always produce v2.
 
-use comm_graph::io::{read_graph, write_graph};
-use comm_graph::weight::index_to_u32;
+use comm_graph::container::{load_container, save_container};
+use comm_graph::io::{read_graph, PREALLOC_CAP};
 use comm_graph::{Graph, NodeId};
 use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::io::{self, BufReader, Read};
+use std::path::{Path, PathBuf};
 
-const MAGIC: [u8; 4] = *b"CBDL";
-const VERSION: u32 = 1;
+/// Magic of the legacy CBDL v1 bundle format (little-endian edge lists).
+const V1_MAGIC: [u8; 4] = *b"CBDL";
+/// The only CBDL version ever written.
+const V1_VERSION: u32 = 1;
+
+/// The environment variable naming the bundle cache directory.
+///
+/// When set to a non-empty path, [`load_or_generate`] persists generated
+/// bundles there and serves subsequent loads from disk; when unset, the
+/// cache is disabled and generation always runs.
+pub const CACHE_ENV: &str = "COMM_BENCH_CACHE";
 
 /// A graph plus its keyword map, as loaded from a cache file.
+#[derive(Debug)]
 pub struct GraphBundle {
     /// The database graph.
     pub graph: Graph,
-    /// Keyword → sorted node ids.
+    /// Keyword (lowercase) → sorted node ids.
     pub keyword_nodes: HashMap<String, Vec<NodeId>>,
+    /// Opaque application payload stored beside the graph — the bench
+    /// harness keeps a serialized projection index here.
+    pub index_blob: Option<Vec<u8>>,
 }
 
 impl GraphBundle {
-    /// The nodes for a keyword (empty if unknown).
+    /// The nodes for a keyword, case-insensitively (empty if unknown).
     pub fn keyword_nodes(&self, keyword: &str) -> &[NodeId] {
         self.keyword_nodes
             .get(&keyword.to_lowercase())
@@ -34,50 +58,68 @@ impl GraphBundle {
     }
 }
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg)
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
 /// Saves a bundle: the graph and the given `(keyword, nodes)` pairs.
+///
+/// Writes a CGPH v2 container atomically (temp file + fsync + rename);
+/// a crash mid-write leaves any previous bundle intact.
 pub fn save_bundle<'a>(
     path: impl AsRef<Path>,
     graph: &Graph,
     keywords: impl IntoIterator<Item = (&'a str, &'a [NodeId])>,
 ) -> io::Result<()> {
-    let mut w = BufWriter::new(std::fs::File::create(path)?);
-    w.write_all(&MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
-    let entries: Vec<(&str, &[NodeId])> = keywords.into_iter().collect();
-    w.write_all(&index_to_u32(entries.len()).to_le_bytes())?;
-    for (kw, nodes) in entries {
-        let bytes = kw.as_bytes();
-        w.write_all(&index_to_u32(bytes.len()).to_le_bytes())?;
-        w.write_all(bytes)?;
-        w.write_all(&index_to_u32(nodes.len()).to_le_bytes())?;
-        for n in nodes {
-            w.write_all(&n.0.to_le_bytes())?;
-        }
-    }
-    write_graph(graph, &mut w)?;
-    w.flush()
+    save_container(path, graph, keywords, None)
 }
 
-/// Loads a bundle written by [`save_bundle`].
+/// [`save_bundle`] plus an opaque payload (e.g. a projection-index blob)
+/// stored in the container's extra section.
+pub fn save_bundle_with_index<'a>(
+    path: impl AsRef<Path>,
+    graph: &Graph,
+    keywords: impl IntoIterator<Item = (&'a str, &'a [NodeId])>,
+    index_blob: Option<&[u8]>,
+) -> io::Result<()> {
+    save_container(path, graph, keywords, index_blob)
+}
+
+/// Loads a bundle written by [`save_bundle`] (CGPH v2, zero-copy on unix)
+/// or by the pre-v2 cache layer (CBDL v1 edge lists, parsed and checked).
 pub fn load_bundle(path: impl AsRef<Path>) -> io::Result<GraphBundle> {
+    let path = path.as_ref();
+    let mut head = [0u8; 4];
+    std::fs::File::open(path)?.read_exact(&mut head)?;
+    if head == V1_MAGIC {
+        return load_bundle_v1(path);
+    }
+    let c = load_container(path)?;
+    Ok(GraphBundle {
+        graph: c.graph,
+        keyword_nodes: c.keyword_nodes,
+        index_blob: c.extra,
+    })
+}
+
+/// Reader for the legacy CBDL v1 bundle format. Enforces the same
+/// contract the v2 container does: lowercase keys, sorted-distinct
+/// in-range node lists, bounded preallocation, and no trailing bytes.
+fn load_bundle_v1(path: &Path) -> io::Result<GraphBundle> {
     let mut r = BufReader::new(std::fs::File::open(path)?);
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
-    if magic != MAGIC {
+    if magic != V1_MAGIC {
         return Err(bad("not a CBDL bundle file"));
     }
     let mut v4 = [0u8; 4];
     r.read_exact(&mut v4)?;
-    if u32::from_le_bytes(v4) != VERSION {
+    if u32::from_le_bytes(v4) != V1_VERSION {
         return Err(bad("unsupported CBDL version"));
     }
     r.read_exact(&mut v4)?;
     let count = u32::from_le_bytes(v4) as usize;
-    let mut keyword_nodes = HashMap::with_capacity(count);
+    let mut keyword_nodes = HashMap::with_capacity(count.min(PREALLOC_CAP));
     for _ in 0..count {
         r.read_exact(&mut v4)?;
         let len = u32::from_le_bytes(v4) as usize;
@@ -87,16 +129,31 @@ pub fn load_bundle(path: impl AsRef<Path>) -> io::Result<GraphBundle> {
         let mut buf = vec![0u8; len];
         r.read_exact(&mut buf)?;
         let kw = String::from_utf8(buf).map_err(|_| bad("keyword is not UTF-8"))?;
+        // Old writers emitted keys as-given; the lookup side lowercases, so
+        // an uppercase key on disk used to be silently unreachable. Fold
+        // here and reject collisions instead.
+        let kw = kw.to_lowercase();
         r.read_exact(&mut v4)?;
         let n = u32::from_le_bytes(v4) as usize;
-        let mut nodes = Vec::with_capacity(n.min(1 << 24));
+        let mut nodes = Vec::with_capacity(n.min(PREALLOC_CAP));
         for _ in 0..n {
             r.read_exact(&mut v4)?;
             nodes.push(NodeId(u32::from_le_bytes(v4)));
         }
-        keyword_nodes.insert(kw, nodes);
+        if !nodes.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err(bad(format!(
+                "node list for keyword '{kw}' is not sorted and distinct"
+            )));
+        }
+        if keyword_nodes.insert(kw.clone(), nodes).is_some() {
+            return Err(bad(format!("duplicate keyword '{kw}' in bundle")));
+        }
     }
     let graph = read_graph(&mut r)?;
+    let mut trailing = [0u8; 1];
+    if r.read(&mut trailing)? != 0 {
+        return Err(bad("trailing bytes after bundle payload"));
+    }
     for nodes in keyword_nodes.values() {
         if nodes.iter().any(|n| n.index() >= graph.node_count()) {
             return Err(bad("keyword node out of graph range"));
@@ -105,62 +162,339 @@ pub fn load_bundle(path: impl AsRef<Path>) -> io::Result<GraphBundle> {
     Ok(GraphBundle {
         graph,
         keyword_nodes,
+        index_blob: None,
     })
+}
+
+/// How [`load_or_generate`] satisfied a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from a cached bundle on disk.
+    Hit,
+    /// Generated fresh; `saved` tells whether the bundle was persisted
+    /// for next time (false when the cache directory is unwritable).
+    Miss {
+        /// Whether the freshly generated bundle reached disk.
+        saved: bool,
+    },
+    /// `COMM_BENCH_CACHE` is unset — generated fresh, nothing persisted.
+    Disabled,
+}
+
+/// The cache directory named by [`CACHE_ENV`], if caching is enabled.
+pub fn cache_dir() -> Option<PathBuf> {
+    match std::env::var(CACHE_ENV) {
+        Ok(dir) if !dir.is_empty() => Some(PathBuf::from(dir)),
+        _ => None,
+    }
+}
+
+/// Maps an arbitrary configuration key ("dblp-quick-s0.05") onto a safe
+/// file stem: anything outside `[A-Za-z0-9._-]` becomes `_`.
+fn sanitize_key(key: &str) -> String {
+    let stem: String = key
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if stem.is_empty() {
+        "bundle".to_owned()
+    } else {
+        stem
+    }
+}
+
+/// The cache path a key resolves to under `dir`.
+pub fn bundle_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{}.cgph", sanitize_key(key)))
+}
+
+/// Loads the bundle cached under `key`, or generates and caches it.
+///
+/// The cache directory comes from the `COMM_BENCH_CACHE` environment
+/// variable; unset disables caching entirely. A corrupt or stale cache
+/// file is not an error — the bundle is regenerated and the file
+/// overwritten (self-healing), and a cache directory that cannot be
+/// written to degrades to generation with `CacheOutcome::Miss { saved:
+/// false }`. Generation failures are the caller's: `generate` is
+/// infallible by signature.
+pub fn load_or_generate(
+    key: &str,
+    generate: impl FnOnce() -> GraphBundle,
+) -> (GraphBundle, CacheOutcome) {
+    load_or_generate_in(cache_dir().as_deref(), key, generate)
+}
+
+/// [`load_or_generate`] with an explicit cache directory (`None` disables
+/// caching). The env-reading wrapper is the normal entry point; this one
+/// exists for tests and embedders that manage their own configuration.
+pub fn load_or_generate_in(
+    dir: Option<&Path>,
+    key: &str,
+    generate: impl FnOnce() -> GraphBundle,
+) -> (GraphBundle, CacheOutcome) {
+    let Some(dir) = dir else {
+        return (generate(), CacheOutcome::Disabled);
+    };
+    let path = bundle_path(dir, key);
+    if let Ok(bundle) = load_bundle(&path) {
+        return (bundle, CacheOutcome::Hit);
+    }
+    let bundle = generate();
+    let keywords: Vec<(&str, &[NodeId])> = bundle
+        .keyword_nodes
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_slice()))
+        .collect();
+    let saved = std::fs::create_dir_all(dir).is_ok()
+        && save_bundle_with_index(&path, &bundle.graph, keywords, bundle.index_blob.as_deref())
+            .is_ok();
+    (bundle, CacheOutcome::Miss { saved })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use comm_graph::graph_from_edges;
+    use comm_graph::io::write_graph;
+    use std::io::Write;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
-    fn tmp(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join("comm_datasets_cache_test");
+    /// A fresh directory per test invocation — fixed names collide when
+    /// test binaries for several crates run concurrently.
+    fn unique_dir(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "comm_datasets_cache_{tag}_{}_{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         std::fs::create_dir_all(&dir).unwrap();
-        dir.join(name)
+        dir
+    }
+
+    fn sample() -> Graph {
+        graph_from_edges(4, &[(0, 1, 1.0), (1, 2, 2.5), (3, 0, 4.0)])
+    }
+
+    /// Writes a legacy CBDL v1 bundle exactly as the old cache layer did
+    /// (keys as-given, no sortedness checks, graph appended last).
+    fn write_v1(path: &Path, entries: &[(&str, &[NodeId])], graph: &Graph) {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path).unwrap());
+        w.write_all(&V1_MAGIC).unwrap();
+        w.write_all(&V1_VERSION.to_le_bytes()).unwrap();
+        w.write_all(&(entries.len() as u32).to_le_bytes()).unwrap();
+        for (kw, nodes) in entries {
+            w.write_all(&(kw.len() as u32).to_le_bytes()).unwrap();
+            w.write_all(kw.as_bytes()).unwrap();
+            w.write_all(&(nodes.len() as u32).to_le_bytes()).unwrap();
+            for n in *nodes {
+                w.write_all(&n.0.to_le_bytes()).unwrap();
+            }
+        }
+        write_graph(graph, &mut w).unwrap();
+        w.flush().unwrap();
     }
 
     #[test]
     fn bundle_roundtrip() {
-        let g = graph_from_edges(4, &[(0, 1, 1.0), (1, 2, 2.5), (3, 0, 4.0)]);
-        let path = tmp("b1.cbdl");
-        save_bundle(
+        let g = sample();
+        let dir = unique_dir("roundtrip");
+        let path = dir.join("b.cgph");
+        save_bundle_with_index(
             &path,
             &g,
             [
                 ("alpha", [NodeId(0), NodeId(2)].as_slice()),
                 ("beta", [NodeId(3)].as_slice()),
             ],
+            Some(b"index-blob"),
         )
         .unwrap();
         let b = load_bundle(&path).unwrap();
         assert_eq!(b.graph.edge_count(), 3);
         assert_eq!(b.keyword_nodes("alpha"), &[NodeId(0), NodeId(2)]);
-        assert_eq!(b.keyword_nodes("beta"), &[NodeId(3)]);
+        assert_eq!(b.keyword_nodes("BETA"), &[NodeId(3)]);
         assert_eq!(b.keyword_nodes("missing"), &[] as &[NodeId]);
-        std::fs::remove_file(&path).ok();
+        assert_eq!(b.index_blob.as_deref(), Some(b"index-blob".as_slice()));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn rejects_garbage() {
-        let path = tmp("b2.cbdl");
+        let dir = unique_dir("garbage");
+        let path = dir.join("b.cgph");
         std::fs::write(&path, b"garbage").unwrap();
         assert!(load_bundle(&path).is_err());
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
-    fn rejects_out_of_range_keyword_node() {
+    fn writer_rejects_out_of_range_keyword_node() {
         let g = graph_from_edges(2, &[(0, 1, 1.0)]);
-        let path = tmp("b3.cbdl");
-        save_bundle(&path, &g, [("kw", [NodeId(9)].as_slice())]).unwrap();
+        let dir = unique_dir("range");
+        let path = dir.join("b.cgph");
+        assert!(save_bundle(&path, &g, [("kw", [NodeId(9)].as_slice())]).is_err());
+        assert!(!path.exists(), "failed save must not leave a file behind");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_bundles_still_load() {
+        let g = sample();
+        let dir = unique_dir("v1");
+        let path = dir.join("b.cbdl");
+        write_v1(
+            &path,
+            &[
+                ("alpha", [NodeId(0), NodeId(2)].as_slice()),
+                ("beta", [NodeId(3)].as_slice()),
+            ],
+            &g,
+        );
+        let b = load_bundle(&path).unwrap();
+        assert_eq!(b.graph.edge_count(), 3);
+        assert_eq!(b.keyword_nodes("alpha"), &[NodeId(0), NodeId(2)]);
+        assert!(b.index_blob.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_rejects_trailing_bytes() {
+        let g = sample();
+        let dir = unique_dir("v1trail");
+        let path = dir.join("b.cbdl");
+        write_v1(&path, &[("alpha", [NodeId(0)].as_slice())], &g);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_bundle(&path).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_rejects_unsorted_or_duplicate_nodes() {
+        let g = sample();
+        let dir = unique_dir("v1sort");
+        for nodes in [
+            [NodeId(2), NodeId(0)].as_slice(),
+            [NodeId(1), NodeId(1)].as_slice(),
+        ] {
+            let path = dir.join("b.cbdl");
+            write_v1(&path, &[("alpha", nodes)], &g);
+            let err = load_bundle(&path).unwrap_err();
+            assert!(err.to_string().contains("sorted"), "got: {err}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_uppercase_keywords_become_reachable() {
+        // Regression: the lookup side lowercases, so a v1 bundle with an
+        // uppercase key on disk used to load into an unreachable entry.
+        let g = sample();
+        let dir = unique_dir("v1case");
+        let path = dir.join("b.cbdl");
+        write_v1(&path, &[("Alpha", [NodeId(0), NodeId(2)].as_slice())], &g);
+        let b = load_bundle(&path).unwrap();
+        assert_eq!(b.keyword_nodes("alpha"), &[NodeId(0), NodeId(2)]);
+        assert_eq!(b.keyword_nodes("Alpha"), &[NodeId(0), NodeId(2)]);
+        assert!(b.keyword_nodes.contains_key("alpha"));
+
+        // ...and two keys that collide after folding are a corrupt bundle,
+        // not a silent last-writer-wins.
+        write_v1(
+            &path,
+            &[
+                ("Alpha", [NodeId(0)].as_slice()),
+                ("alpha", [NodeId(2)].as_slice()),
+            ],
+            &g,
+        );
+        let err = load_bundle(&path).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_hostile_node_count_cannot_preallocate() {
+        // A four-byte header field claiming u32::MAX nodes must fail on
+        // the missing bytes, not allocate 16 GiB up front.
+        let dir = unique_dir("v1alloc");
+        let path = dir.join("b.cbdl");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&V1_MAGIC);
+        bytes.extend_from_slice(&V1_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(b"kw");
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
         assert!(load_bundle(&path).is_err());
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_or_generate_disabled_miss_then_hit() {
+        let make = || GraphBundle {
+            graph: sample(),
+            keyword_nodes: HashMap::from([("alpha".to_owned(), vec![NodeId(0), NodeId(2)])]),
+            index_blob: Some(b"blob".to_vec()),
+        };
+
+        let (b, outcome) = load_or_generate_in(None, "key", make);
+        assert_eq!(outcome, CacheOutcome::Disabled);
+        assert_eq!(b.graph.edge_count(), 3);
+
+        let dir = unique_dir("logen");
+        let (_, outcome) = load_or_generate_in(Some(&dir), "cfg quick/0.05", make);
+        assert_eq!(outcome, CacheOutcome::Miss { saved: true });
+        assert!(bundle_path(&dir, "cfg quick/0.05").exists());
+
+        let (b, outcome) = load_or_generate_in(Some(&dir), "cfg quick/0.05", || {
+            panic!("cache hit must not regenerate")
+        });
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(b.keyword_nodes("alpha"), &[NodeId(0), NodeId(2)]);
+        assert_eq!(b.index_blob.as_deref(), Some(b"blob".as_slice()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_or_generate_self_heals_corrupt_cache() {
+        let dir = unique_dir("heal");
+        let key = "dataset";
+        std::fs::write(bundle_path(&dir, key), b"not a container").unwrap();
+        let (b, outcome) = load_or_generate_in(Some(&dir), key, || GraphBundle {
+            graph: sample(),
+            keyword_nodes: HashMap::new(),
+            index_blob: None,
+        });
+        assert_eq!(outcome, CacheOutcome::Miss { saved: true });
+        assert_eq!(b.graph.node_count(), 4);
+        // The corrupt file was overwritten with a loadable bundle.
+        assert!(load_bundle(bundle_path(&dir, key)).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn keys_sanitize_to_safe_file_stems() {
+        assert_eq!(sanitize_key("dblp-quick_s0.05"), "dblp-quick_s0.05");
+        assert_eq!(sanitize_key("a b/c:d"), "a_b_c_d");
+        assert_eq!(sanitize_key(""), "bundle");
     }
 
     #[test]
     fn generated_dataset_bundle_roundtrip() {
         let ds = crate::generate_dblp(&crate::DblpConfig::default().scaled(0.05));
-        let path = tmp("b4.cbdl");
+        let dir = unique_dir("gen");
+        let path = dir.join("b.cgph");
         let kws: Vec<(&str, &[NodeId])> = vec![
             ("database", ds.graph.keyword_nodes("database")),
             ("fuzzy", ds.graph.keyword_nodes("fuzzy")),
@@ -172,6 +506,6 @@ mod tests {
             b.keyword_nodes("database"),
             ds.graph.keyword_nodes("database")
         );
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -70,6 +70,21 @@ impl DblpConfig {
         self
     }
 
+    /// The large I/O-benchmark scale: ≈1M tuples, ≈2.6M directed edges —
+    /// big enough that a CGPH v2 container clears the page-cache noise
+    /// floor, small enough to regenerate in seconds. This is the setting
+    /// `comm-bench`'s `io_bench` binary uses with `--large` for the
+    /// `BENCH_io.json` cold-build vs v1-load vs v2-mmap comparison.
+    pub fn large_scale() -> DblpConfig {
+        let mut c = DblpConfig {
+            authors: 150_000,
+            papers: 250_000,
+            ..DblpConfig::default()
+        };
+        c.topics = 40;
+        c
+    }
+
     /// The paper's full DBLP 2008 scale: 597K authors, 986K papers
     /// (≈ 4.1M tuples, ≈ 10.2M directed edges). Generates in ~20 s.
     pub fn paper_scale() -> DblpConfig {
@@ -291,6 +306,15 @@ mod tests {
 
     fn small() -> DblpConfig {
         DblpConfig::default().scaled(0.1)
+    }
+
+    #[test]
+    fn large_scale_sits_between_default_and_paper() {
+        let d = DblpConfig::default();
+        let l = DblpConfig::large_scale();
+        let p = DblpConfig::paper_scale();
+        assert!(d.authors < l.authors && l.authors < p.authors);
+        assert!(d.papers < l.papers && l.papers < p.papers);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! from centers" (Algorithm 4's virtual source `s`) and "expand backward
 //! from keyword nodes" (Algorithm 2's virtual sink `t`).
 
+use crate::storage::Storage;
 use crate::weight::{index_to_u32, Weight};
 use std::collections::HashMap;
 use std::fmt;
@@ -12,8 +13,11 @@ use std::fmt;
 /// Identifier of a node (tuple) in a database graph.
 ///
 /// Plain `u32` under a newtype: per-node algorithm state lives in flat
-/// vectors indexed by `NodeId::index()`.
+/// vectors indexed by `NodeId::index()`. `repr(transparent)` so CSR target
+/// arrays can be viewed zero-copy inside a mapped container file (see
+/// [`crate::storage`]).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -67,12 +71,14 @@ impl Direction {
 /// One half (forward or reverse) of the adjacency in CSR form.
 ///
 /// Fields are `pub(crate)` so `crate::verify` can inspect (and, in tests,
-/// corrupt) the raw arrays without widening the public API.
+/// corrupt) the raw arrays without widening the public API. Each array is
+/// a [`Storage`]: an owned `Vec` when built in memory, or a zero-copy view
+/// into a mapped CGPH v2 container (see [`crate::container`]).
 #[derive(Clone, Default)]
 pub(crate) struct Csr {
-    pub(crate) offsets: Vec<u32>,
-    pub(crate) targets: Vec<NodeId>,
-    pub(crate) weights: Vec<Weight>,
+    pub(crate) offsets: Storage<u32>,
+    pub(crate) targets: Storage<NodeId>,
+    pub(crate) weights: Storage<Weight>,
 }
 
 impl Csr {
@@ -111,26 +117,25 @@ impl Csr {
         }
         // Sort each adjacency run by target id for deterministic iteration
         // and O(log deg) edge lookup.
-        let mut csr = Csr {
-            offsets,
-            targets,
-            weights,
-        };
         for u in 0..n {
-            let lo = csr.offsets[u] as usize;
-            let hi = csr.offsets[u + 1] as usize;
-            let mut run: Vec<(NodeId, Weight)> = csr.targets[lo..hi]
+            let lo = offsets[u] as usize;
+            let hi = offsets[u + 1] as usize;
+            let mut run: Vec<(NodeId, Weight)> = targets[lo..hi]
                 .iter()
                 .copied()
-                .zip(csr.weights[lo..hi].iter().copied())
+                .zip(weights[lo..hi].iter().copied())
                 .collect();
             run.sort_by_key(|&(t, w)| (t, w));
             for (i, (t, w)) in run.into_iter().enumerate() {
-                csr.targets[lo + i] = t;
-                csr.weights[lo + i] = w;
+                targets[lo + i] = t;
+                weights[lo + i] = w;
             }
         }
-        csr
+        Csr {
+            offsets: offsets.into(),
+            targets: targets.into(),
+            weights: weights.into(),
+        }
     }
 }
 
@@ -240,6 +245,13 @@ impl Graph {
                 + c.weights.len() * std::mem::size_of::<Weight>()
         };
         per_csr(&self.fwd) + per_csr(&self.rev)
+    }
+
+    /// Whether the CSR arrays are zero-copy views into a mapped container
+    /// file (true after [`crate::container::load_container`] on a host
+    /// where `mmap` is available) rather than owned heap vectors.
+    pub fn is_mapped(&self) -> bool {
+        self.fwd.offsets.is_mapped()
     }
 
     /// Extracts the subgraph induced by `nodes` (original ids), renumbering

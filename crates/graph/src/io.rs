@@ -20,8 +20,11 @@ const HEADER_BYTES: u64 = 24;
 const EDGE_BYTES: u64 = 16;
 /// Upper bound on speculative preallocation from header counts. Larger
 /// (legitimate) inputs still load fine — collections just grow as records
-/// actually arrive instead of trusting the header up front.
-const PREALLOC_CAP: usize = 1 << 20;
+/// actually arrive instead of trusting the header up front. Shared by
+/// every on-disk reader in the workspace (`crate::container`,
+/// `comm-datasets`' bundle cache) so a hostile count can never reserve
+/// more than ~16 MiB before real bytes back it.
+pub const PREALLOC_CAP: usize = 1 << 20;
 
 /// Writes `graph` to `w` in the binary format.
 pub fn write_graph<W: Write>(graph: &Graph, w: &mut W) -> io::Result<()> {
@@ -107,11 +110,41 @@ fn read_graph_limited<R: Read>(r: &mut R, stream_len: Option<u64>) -> io::Result
     Ok(b.build())
 }
 
-/// Saves a graph to a file (buffered).
+/// Writes a file atomically: the payload goes to a unique temp file in the
+/// same directory, is flushed and `fsync`ed, and only then renamed over
+/// `path`. A crash (or guard trip) mid-write therefore leaves any previous
+/// file at `path` untouched — never a half-written hybrid — and the temp
+/// file is removed on error.
+pub fn atomic_write(
+    path: impl AsRef<Path>,
+    write_fn: impl FnOnce(&mut BufWriter<std::fs::File>) -> io::Result<()>,
+) -> io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = path.as_ref();
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let tmp = std::path::PathBuf::from(tmp_name);
+    let result = (|| {
+        let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
+        write_fn(&mut w)?;
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// Saves a graph to a file (buffered, atomic: temp file + fsync + rename).
 pub fn save_graph(graph: &Graph, path: impl AsRef<Path>) -> io::Result<()> {
-    let mut w = BufWriter::new(std::fs::File::create(path)?);
-    write_graph(graph, &mut w)?;
-    w.flush()
+    atomic_write(path, |w| write_graph(graph, w))
 }
 
 /// Loads a graph from a file (buffered). The header's edge count is
@@ -126,6 +159,21 @@ pub fn load_graph(path: impl AsRef<Path>) -> io::Result<Graph> {
 mod tests {
     use super::*;
     use crate::csr::graph_from_edges;
+
+    /// A per-test temp dir unique across processes and within a process,
+    /// so parallel test runs (and stale dirs from killed runs) can never
+    /// collide on fixed names.
+    fn unique_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "comm_graph_io_{tag}_{}_{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
 
     fn sample() -> Graph {
         graph_from_edges(
@@ -160,14 +208,38 @@ mod tests {
 
     #[test]
     fn file_roundtrip() {
-        let dir = std::env::temp_dir().join("comm_graph_io_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = unique_dir("roundtrip");
         let path = dir.join("g.cgph");
         let g = sample();
         save_graph(&g, &path).unwrap();
         let h = load_graph(&path).unwrap();
         assert_eq!(h.edge_count(), g.edge_count());
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_save_leaves_previous_file_intact() {
+        // A writer that dies mid-stream (crash, guard trip, full disk)
+        // must neither clobber the existing file nor leave temp litter.
+        let dir = unique_dir("atomic");
+        let path = dir.join("g.cgph");
+        let g = sample();
+        save_graph(&g, &path).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        let err = atomic_write(&path, |w| {
+            w.write_all(b"half a header")?;
+            Err(io::Error::other("simulated crash mid-write"))
+        });
+        assert!(err.is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), before, "old file clobbered");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|f| f.to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp litter: {leftovers:?}");
+        assert!(load_graph(&path).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -243,8 +315,7 @@ mod tests {
 
     #[test]
     fn load_graph_rejects_edge_count_disagreeing_with_file_length() {
-        let dir = std::env::temp_dir().join("comm_graph_io_corrupt_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = unique_dir("corrupt");
         let path = dir.join("corrupt.cgph");
         let g = sample();
         save_graph(&g, &path).unwrap();
@@ -260,7 +331,7 @@ mod tests {
         bytes.truncate(bytes.len() - 5);
         std::fs::write(&path, &bytes).unwrap();
         assert!(load_graph(&path).is_err());
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -298,14 +369,13 @@ mod tests {
         assert!(read_graph(&mut buf.as_slice()).is_ok());
         // The same holds through the file path, where the length pre-check
         // fires before any record is parsed.
-        let dir = std::env::temp_dir().join("comm_graph_io_corpus_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = unique_dir("corpus");
         let path = dir.join("prefix.cgph");
         let body_short = HEADER_BYTES as usize + EDGE_BYTES as usize / 2;
         std::fs::write(&path, &buf[..body_short]).unwrap();
         let err = load_graph(&path).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -120,8 +120,15 @@ impl fmt::Display for GraphInvariantError {
 impl std::error::Error for GraphInvariantError {}
 
 /// Validates one CSR half in isolation (offsets shape, array lengths,
-/// target ranges, per-run ordering, weight finiteness).
-fn validate_csr(csr: &Csr, dir: Direction, n: usize, m: usize) -> Result<(), GraphInvariantError> {
+/// target ranges, per-run ordering, weight finiteness). `pub(crate)` so
+/// the container loader can run the same linear checks on mapped arrays
+/// without paying the full transpose comparison.
+pub(crate) fn validate_csr(
+    csr: &Csr,
+    dir: Direction,
+    n: usize,
+    m: usize,
+) -> Result<(), GraphInvariantError> {
     let bad_offsets = |detail: String| GraphInvariantError::MalformedOffsets { dir, detail };
     if csr.offsets.len() != n + 1 {
         return Err(bad_offsets(format!(
@@ -282,7 +289,7 @@ mod tests {
     #[test]
     fn corrupted_offsets_are_diagnosed() {
         let mut g = sample();
-        g.fwd.offsets[0] = 1;
+        g.fwd.offsets.to_mut()[0] = 1;
         assert!(matches!(
             g.validate(),
             Err(GraphInvariantError::MalformedOffsets {
@@ -292,7 +299,7 @@ mod tests {
         ));
 
         let mut g = sample();
-        g.rev.offsets.pop();
+        g.rev.offsets.to_mut().pop();
         let err = g.validate().unwrap_err();
         assert!(matches!(
             err,
@@ -305,7 +312,8 @@ mod tests {
 
         // A decreasing offset pair.
         let mut g = sample();
-        g.fwd.offsets[1] = g.fwd.offsets[2] + 1;
+        let bumped = g.fwd.offsets[2] + 1;
+        g.fwd.offsets.to_mut()[1] = bumped;
         let err = g.validate().unwrap_err();
         assert!(err.to_string().contains("decrease"));
     }
@@ -313,7 +321,7 @@ mod tests {
     #[test]
     fn edge_array_mismatch_is_diagnosed() {
         let mut g = sample();
-        g.fwd.weights.pop();
+        g.fwd.weights.to_mut().pop();
         assert!(matches!(
             g.validate(),
             Err(GraphInvariantError::EdgeArrayMismatch {
@@ -334,7 +342,7 @@ mod tests {
     #[test]
     fn out_of_range_target_is_diagnosed() {
         let mut g = sample();
-        g.fwd.targets[0] = NodeId(99);
+        g.fwd.targets.to_mut()[0] = NodeId(99);
         assert_eq!(
             g.validate(),
             Err(GraphInvariantError::TargetOutOfRange {
@@ -352,7 +360,7 @@ mod tests {
         // Node 0's forward run is [(1, 0.5), (1, 1.0), (2, 4.0)]; swapping
         // the first two breaks (target, weight) order without changing the
         // transpose multiset.
-        g.fwd.weights.swap(0, 1);
+        g.fwd.weights.to_mut().swap(0, 1);
         assert_eq!(
             g.validate(),
             Err(GraphInvariantError::UnsortedAdjacency {
@@ -366,7 +374,7 @@ mod tests {
     fn infinite_weight_is_diagnosed() {
         let mut g = sample();
         let last = g.rev.weights.len() - 1;
-        g.rev.weights[last] = Weight::INFINITY;
+        g.rev.weights.to_mut()[last] = Weight::INFINITY;
         // Caught per-half before the transpose comparison runs.
         assert!(matches!(
             g.validate(),
@@ -382,8 +390,8 @@ mod tests {
         // Swap two targets in the same run so per-half checks still pass
         // (run stays sorted) but the reverse half no longer transposes.
         let mut g = graph_from_edges(4, &[(0, 1, 1.0), (0, 2, 1.0), (3, 1, 1.0)]);
-        g.fwd.targets[1] = NodeId(3);
-        g.fwd.targets.sort();
+        g.fwd.targets.to_mut()[1] = NodeId(3);
+        g.fwd.targets.to_mut().sort();
         let err = g.validate().unwrap_err();
         assert!(matches!(err, GraphInvariantError::TransposeMismatch { .. }));
         assert!(err.to_string().contains("disagree"));
@@ -404,7 +412,7 @@ mod tests {
     #[should_panic(expected = "graph invariant violated")]
     fn assert_valid_panics_on_corruption() {
         let mut g = sample();
-        g.fwd.targets[0] = NodeId(99);
+        g.fwd.targets.to_mut()[0] = NodeId(99);
         g.assert_valid();
     }
 }

@@ -13,8 +13,11 @@ use std::ops::{Add, AddAssign};
 ///
 /// `Weight` is `Copy` and 8 bytes; `Weight::INFINITY` marks unreachable
 /// distances. Constructing a NaN or negative weight is a caller bug and is
-/// rejected by [`Weight::new`].
+/// rejected by [`Weight::new`]. `repr(transparent)` so CSR weight arrays
+/// can be viewed zero-copy inside a mapped container file (see
+/// [`crate::storage`]); on-disk weights are re-validated at load.
 #[derive(Clone, Copy, PartialEq, Default)]
+#[repr(transparent)]
 pub struct Weight(f64);
 
 impl Weight {

@@ -1,0 +1,132 @@
+//! Generates `BENCH_io.json`: the persistence lane comparison — cold
+//! graph build vs CGPH v1 edge-list load vs CGPH v2 container mmap.
+//!
+//! Std-only on purpose — it runs in the offline container the same way
+//! the CI smoke lane does:
+//!
+//! ```text
+//! cargo run --release -p comm-serve --example io_bench [--side N] [OUT.json]
+//! ```
+//!
+//! The workload is the deterministic synthetic torus (no RNG, no
+//! datasets crate); `--side 1024` is the large setting (~1M nodes, ~4.2M
+//! directed edges, ~100 MB container). The DBLP-backed variant of this
+//! lane lives in `comm-bench`'s `io_bench` binary, which needs the
+//! dataset generator; the two write the same report shape.
+//!
+//! Besides the timings, the run asserts the warm-start contract: the
+//! mapped graph must answer queries bit-identically to the built one.
+
+use comm_graph::container::{load_container, save_container};
+use comm_graph::io::{load_graph, save_graph};
+use comm_graph::{NodeId, RunGuard};
+use comm_serve::{summarize, synthetic_engine, EngineConfig, QueryEngine, KEYWORDS};
+use std::time::Instant;
+
+fn main() {
+    let mut side: usize = 512;
+    let mut out_path = "BENCH_io.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--side" => {
+                let v = args.next().unwrap_or_default();
+                side = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--side: '{v}' is not a number");
+                    std::process::exit(2);
+                });
+            }
+            other => out_path = other.to_string(),
+        }
+    }
+
+    let dir = std::env::temp_dir().join(format!("comm_io_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+
+    // Lane 1: cold build — construct the graph + vocabulary from source
+    // (for the torus that is edge generation + CSR build; for a dataset
+    // it is the full rebuild-from-RDB materialization).
+    let t0 = Instant::now();
+    let built = synthetic_engine(side, EngineConfig::default()).expect("engine build");
+    let cold_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (n, m) = (built.graph().node_count(), built.graph().edge_count());
+
+    // Lane 2: v1 edge-list file — save, then the parsing load path
+    // (read every edge, re-run the CSR builder).
+    let v1_path = dir.join("graph.v1.cgph");
+    let t0 = Instant::now();
+    save_graph(built.graph(), &v1_path).expect("v1 save");
+    let v1_save_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let v1_bytes = std::fs::metadata(&v1_path).expect("v1 stat").len();
+    let t0 = Instant::now();
+    let v1_graph = load_graph(&v1_path).expect("v1 load");
+    let v1_load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(v1_graph.node_count(), n);
+    assert_eq!(v1_graph.edge_count(), m);
+
+    // Lane 3: v2 container — save once, then the mmap load path (header +
+    // TOC + per-section checksum verification; no parse, no CSR rebuild).
+    let keywords: Vec<(&str, &[NodeId])> = KEYWORDS
+        .iter()
+        .map(|&kw| (kw, built.keyword_nodes(kw).expect("vocab keyword")))
+        .collect();
+    let v2_path = dir.join("graph.v2.cgph");
+    let t0 = Instant::now();
+    save_container(&v2_path, built.graph(), keywords, None).expect("v2 save");
+    let v2_save_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let v2_bytes = std::fs::metadata(&v2_path).expect("v2 stat").len();
+    let t0 = Instant::now();
+    let container = load_container(&v2_path).expect("v2 load");
+    let v2_load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(container.graph.node_count(), n);
+    assert_eq!(container.graph.edge_count(), m);
+    let mapped = container.graph.is_mapped();
+    drop(container);
+
+    // Warm-start contract: the mapped engine answers bit-identically.
+    let warm = QueryEngine::from_container(&v2_path, EngineConfig::default()).expect("warm engine");
+    let guard = RunGuard::unlimited();
+    let kws: Vec<String> = vec!["alpha".into(), "beta".into()];
+    let a = built.answer(&kws, 4.0, 5, &guard).expect("built answer");
+    let b = warm.answer(&kws, 4.0, 5, &guard).expect("warm answer");
+    let a: Vec<_> = a.value().iter().map(summarize).collect();
+    let b: Vec<_> = b.value().iter().map(summarize).collect();
+    let identical = a == b && !a.is_empty();
+
+    std::fs::remove_dir_all(&dir).ok();
+
+    let speedup_vs_cold = cold_build_ms / v2_load_ms;
+    let speedup_vs_v1 = v1_load_ms / v2_load_ms;
+    let json = format!(
+        "{{\n  \"machine\": {{ \"os\": \"{os}\", \"arch\": \"{arch}\", \"cpus\": {cpus} }},\n  \
+         \"workload\": \"synthetic-torus\",\n  \"side\": {side},\n  \"nodes\": {n},\n  \"edges\": {m},\n  \
+         \"cold_build_ms\": {cold_build_ms:.3},\n  \
+         \"v1_file_bytes\": {v1_bytes},\n  \"v1_save_ms\": {v1_save_ms:.3},\n  \"v1_load_ms\": {v1_load_ms:.3},\n  \
+         \"v2_file_bytes\": {v2_bytes},\n  \"v2_save_ms\": {v2_save_ms:.3},\n  \"v2_mmap_load_ms\": {v2_load_ms:.3},\n  \
+         \"v2_mapped\": {mapped},\n  \
+         \"speedup_v2_vs_cold_build\": {speedup_vs_cold:.1},\n  \
+         \"speedup_v2_vs_v1_load\": {speedup_vs_v1:.1},\n  \
+         \"answers_bit_identical\": {identical}\n}}",
+        os = std::env::consts::OS,
+        arch = std::env::consts::ARCH,
+        cpus = std::thread::available_parallelism().map_or(1, usize::from),
+    );
+
+    eprintln!("{json}");
+    if let Err(e) = std::fs::write(&out_path, json + "\n") {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "wrote {out_path}: cold {cold_build_ms:.0} ms, v1 load {v1_load_ms:.0} ms, \
+         v2 mmap {v2_load_ms:.0} ms ({speedup_vs_cold:.0}x vs cold)"
+    );
+    if !identical {
+        eprintln!("mapped vs built answers DIVERGED");
+        std::process::exit(1);
+    }
+    if !(mapped || cfg!(not(unix))) {
+        eprintln!("v2 load did not map on a unix host");
+        std::process::exit(1);
+    }
+}

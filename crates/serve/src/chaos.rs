@@ -92,14 +92,14 @@ impl ChaosState {
             return ChaosPlan::default();
         }
         let seq = self.queries.fetch_add(1, Ordering::Relaxed) + 1;
-        let every = |n: Option<u64>| n.is_some_and(|n| n > 0 && seq % n == 0);
+        let every = |n: Option<u64>| n.is_some_and(|n| n > 0 && seq.is_multiple_of(n));
         let plan = ChaosPlan {
             trip_after: self.cfg.trip_queries_after,
             drop_reply: every(self.cfg.disconnect_every),
             delay_reply: self
                 .cfg
                 .delay_every
-                .filter(|(n, _)| *n > 0 && seq % *n == 0)
+                .filter(|(n, _)| *n > 0 && seq.is_multiple_of(*n))
                 .map(|(_, d)| d),
             poison_pool: every(self.cfg.poison_pool_every),
         };

@@ -102,6 +102,21 @@ impl QueryEngine {
         })
     }
 
+    /// Builds an engine straight from a CGPH v2 container on disk: the
+    /// CSR arrays are memory-mapped and served in place (zero-copy on
+    /// unix — daemon startup is O(1) in the graph size) and the
+    /// container's keyword map becomes the vocabulary. This is the warm
+    /// path pair of [`QueryEngine::new`]: a container saved from a built
+    /// graph produces a bit-identical engine without re-parsing edges.
+    pub fn from_container(
+        path: impl AsRef<std::path::Path>,
+        cfg: EngineConfig,
+    ) -> std::io::Result<QueryEngine> {
+        let c = comm_graph::container::load_container(path)?;
+        QueryEngine::new(c.graph, c.keyword_nodes, cfg)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))
+    }
+
     /// The served graph.
     pub fn graph(&self) -> &Graph {
         &self.graph

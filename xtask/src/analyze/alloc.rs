@@ -38,13 +38,19 @@ const CHARGE: [&str; 5] = [
 ];
 
 /// The rule applies where the guard regime applies: `crates/core` and
-/// `crates/serve` library sources.
+/// `crates/serve` library sources, plus the graph crate's persistence
+/// modules (`container.rs`, `storage.rs`), whose guarded load paths
+/// decode keyword maps and mapped sections under a byte budget.
 pub fn in_scope(path: &Path) -> bool {
     let in_crates = path.components().any(|c| c.as_os_str() == "crates");
     let governed = path
         .components()
         .any(|c| c.as_os_str() == "core" || c.as_os_str() == "serve");
-    in_crates && governed
+    let graph_persistence = path.components().any(|c| c.as_os_str() == "graph")
+        && path
+            .file_name()
+            .is_some_and(|f| f == "container.rs" || f == "storage.rs");
+    in_crates && (governed || graph_persistence)
 }
 
 /// Checks one file.
@@ -146,6 +152,14 @@ mod tests {
         assert!(in_scope(Path::new("crates/serve/src/server.rs")));
         assert!(!in_scope(Path::new("crates/graph/src/csr.rs")));
         assert!(!in_scope(Path::new("xtask/src/main.rs")));
+    }
+
+    #[test]
+    fn scope_covers_the_graph_persistence_modules() {
+        assert!(in_scope(Path::new("crates/graph/src/container.rs")));
+        assert!(in_scope(Path::new("crates/graph/src/storage.rs")));
+        assert!(!in_scope(Path::new("crates/graph/src/dijkstra.rs")));
+        assert!(!in_scope(Path::new("crates/rdb/src/container.rs")));
     }
 
     #[test]

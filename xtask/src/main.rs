@@ -2,7 +2,7 @@
 //!
 //! Subcommands:
 //!
-//! * `lint [--json] [--stale-waivers] [FILES...]` — run the four repo lint
+//! * `lint [--json] [--stale-waivers] [FILES...]` — run the five repo lint
 //!   rules over the library crates (`graph`, `fibheap`, `core`, `rdb`,
 //!   `datasets`, `serve`). With `--stale-waivers`, every `xtask-allow`
 //!   comment that no longer suppresses a finding (of any lint *or*

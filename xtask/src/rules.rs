@@ -1,4 +1,4 @@
-//! The four repo-specific lint rules.
+//! The five repo-specific lint rules.
 //!
 //! Every rule reports findings with a stable rule id, a message, and a
 //! suggestion. Findings on `#[cfg(test)]` lines are dropped; findings on
@@ -15,7 +15,7 @@
 use crate::analyze::FileModel;
 use crate::ast::TokKind;
 use crate::scan::{ident_at, SourceFile};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// One lint finding.
 #[derive(Debug, Clone)]
@@ -25,7 +25,7 @@ pub struct Finding {
     /// 1-based line.
     pub line: usize,
     /// Stable rule id (`no_panics`, `narrowing_cast`, `guard_coverage`,
-    /// `display_match`).
+    /// `display_match`, `unsafe_confined`).
     pub rule: &'static str,
     /// What was found.
     pub message: String,
@@ -45,6 +45,8 @@ pub const GUARD_COVERAGE: &str = "guard_coverage";
 pub const DISPLAY_MATCH: &str = "display_match";
 /// Rule id for waiver comments that no longer suppress anything.
 pub const STALE_WAIVER: &str = "stale_waiver";
+/// Rule id for the unsafe-confinement requirement.
+pub const UNSAFE_CONFINED: &str = "unsafe_confined";
 
 /// Runs every applicable rule over one file. `guard_scope` enables the
 /// guard-coverage rule (it applies to `crates/core` and `crates/serve`,
@@ -57,6 +59,7 @@ pub fn check_file(fm: &FileModel, guard_scope: bool) -> Vec<Finding> {
         guard_coverage(fm, &mut out);
     }
     display_match(&fm.source, &mut out);
+    unsafe_confined(fm, &mut out);
     out.sort_by_key(|x| (x.line, x.rule));
     out
 }
@@ -132,6 +135,35 @@ fn no_panics(fm: &FileModel, out: &mut Vec<Finding>) {
                 }
             }
             _ => {}
+        }
+    }
+}
+
+/// `unsafe_confined`: the `unsafe` keyword is allowed only in
+/// `crates/graph/src/storage.rs` (the mmap FFI and the Pod slice
+/// reinterpret, both behind `#[allow(unsafe_code)]` with safety
+/// comments). Every other library file must stay `unsafe`-free — the
+/// crate roots say `#![forbid(unsafe_code)]`, but a file-level
+/// `#![allow]` could reopen the door; this rule closes it. Matched as a
+/// keyword token over masked text, so `unsafe_code` attribute idents,
+/// comments, and strings can never fire.
+fn unsafe_confined(fm: &FileModel, out: &mut Vec<Finding>) {
+    const SUGGESTION: &str = "express the operation safely, or move it into \
+         `crates/graph/src/storage.rs` with a `// SAFETY:` justification";
+    if fm.source.path.ends_with(Path::new("crates/graph/src/storage.rs")) {
+        return;
+    }
+    let ast = &fm.ast;
+    for i in 0..ast.toks.len() {
+        if ast.toks[i].kind == TokKind::Ident && ast.text(i) == "unsafe" {
+            push(
+                &fm.source,
+                out,
+                UNSAFE_CONFINED,
+                ast.line(&fm.source, i),
+                "`unsafe` outside the confined storage module".to_string(),
+                SUGGESTION,
+            );
         }
     }
 }
@@ -580,6 +612,41 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rule, DISPLAY_MATCH);
         assert!(out[0].message.contains("no `Display` impl"));
+    }
+
+    fn findings_at(path: &str, src: &str) -> Vec<Finding> {
+        let fm = FileModel::parse(PathBuf::from(path), src.to_string());
+        check_file(&fm, false)
+            .into_iter()
+            .filter(|x| !x.waived)
+            .collect()
+    }
+
+    #[test]
+    fn seeded_unsafe_outside_storage_fails() {
+        let src = "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let out = findings_at("crates/core/src/x.rs", src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, UNSAFE_CONFINED);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn unsafe_inside_storage_is_allowed() {
+        let src = "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        assert!(findings_at("crates/graph/src/storage.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_code_attribute_ident_is_not_flagged() {
+        let src = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+        assert!(findings_at("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_comment_or_string_is_not_flagged() {
+        let src = "// unsafe is discussed here\npub fn f() -> &'static str {\n    \"unsafe\"\n}\n";
+        assert!(findings_at("crates/core/src/x.rs", src).is_empty());
     }
 
     #[test]
