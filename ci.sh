@@ -30,6 +30,17 @@ RAYON_NUM_THREADS=2 cargo test -q --workspace --release
 echo "==> serial/parallel equivalence gate"
 RAYON_NUM_THREADS=2 cargo test -q --release --test parallel_equivalence
 
+# Kernel lane: the equivalence gate re-run with the process-wide Dijkstra
+# kernel pinned each way (the global pool reads COMM_KERNEL at first use),
+# then a quick kernel_bench smoke — the bench certifies heap/bucket/batched
+# bit-identity on every workload before timing anything. --force because
+# the committed BENCH_kernel.json may carry better machine provenance.
+echo "==> kernel lane (equivalence gate under each kernel + bench smoke)"
+COMM_KERNEL=heap cargo test -q --release --test parallel_equivalence
+COMM_KERNEL=bucket cargo test -q --release --test parallel_equivalence
+cargo run --quiet --release -p comm-bench --bin kernel_bench -- \
+    --quick --force --out /tmp/BENCH_kernel_ci.json
+
 # Serve smoke lane: chaos-load the daemon (fault injection armed), then a
 # CLI round trip. chaos_load exits non-zero unless every request
 # terminated in a declared state with zero protocol errors and sheds got

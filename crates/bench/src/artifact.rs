@@ -1,0 +1,151 @@
+//! Provenance-guarded benchmark-artifact writes.
+//!
+//! Every `BENCH_*.json` document carries a [`MachineInfo`] block so its
+//! numbers are never read out of context. That block also orders runs:
+//! a report recorded on the multi-core CI host should not be silently
+//! clobbered by a rerun on a 1-CPU laptop, or the committed numbers
+//! would drift toward whatever machine last touched them. Benchmark
+//! binaries therefore write through [`write_artifact`], which refuses to
+//! replace an existing artifact of *better provenance* unless the caller
+//! passes `--force`.
+//!
+//! "Better provenance" is deliberately coarse: more CPUs wins (timing
+//! fidelity scales with available parallelism); ties always overwrite
+//! (same-machine reruns refresh freely). Documents without a readable
+//! `machine.cpus` never block anything.
+
+use crate::parallel::MachineInfo;
+use std::path::Path;
+
+/// The outcome of a guarded artifact write.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArtifactWrite {
+    /// The document replaced (or created) the file.
+    Written,
+    /// An existing artifact had better provenance and `force` was off;
+    /// the payload holds the refusal message (existing vs new CPUs).
+    Refused(String),
+}
+
+/// CPU count recorded in an artifact document, if readable.
+fn recorded_cpus(doc: &serde_json::Value) -> Option<u64> {
+    doc.get("machine")?.get("cpus")?.as_u64()
+}
+
+/// Writes `json` (a full `BENCH_*.json` document) to `path` unless the
+/// file already holds a report from a machine with strictly more CPUs
+/// than `machine`. `force` overrides the guard. IO errors reading the
+/// existing file are treated as "no usable artifact" (the write
+/// proceeds); IO errors writing are returned.
+pub fn write_artifact(
+    path: impl AsRef<Path>,
+    json: &str,
+    machine: &MachineInfo,
+    force: bool,
+) -> std::io::Result<ArtifactWrite> {
+    let path = path.as_ref();
+    if !force {
+        if let Some(existing) = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+            .and_then(|doc| recorded_cpus(&doc))
+        {
+            if existing > machine.cpus as u64 {
+                return Ok(ArtifactWrite::Refused(format!(
+                    "{} was recorded on a {existing}-CPU machine; this host has {} — \
+                     refusing to overwrite with worse provenance (pass --force to override)",
+                    path.display(),
+                    machine.cpus,
+                )));
+            }
+        }
+    }
+    let mut body = json.to_owned();
+    if !body.ends_with('\n') {
+        body.push('\n');
+    }
+    std::fs::write(path, body)?;
+    Ok(ArtifactWrite::Written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(cpus: usize) -> MachineInfo {
+        MachineInfo {
+            os: "linux",
+            arch: "x86_64",
+            cpus,
+            threads_env: None,
+            generated_unix: 0,
+        }
+    }
+
+    fn doc(cpus: usize) -> String {
+        format!("{{\"machine\":{{\"cpus\":{cpus}}},\"x\":1}}")
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("comm_artifact_{}_{name}.json", std::process::id()))
+    }
+
+    #[test]
+    fn fresh_path_always_writes() {
+        let p = tmp("fresh");
+        std::fs::remove_file(&p).ok();
+        let got = write_artifact(&p, &doc(1), &machine(1), false).unwrap();
+        assert_eq!(got, ArtifactWrite::Written);
+        assert!(std::fs::read_to_string(&p).unwrap().ends_with('\n'));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn better_provenance_blocks_without_force() {
+        let p = tmp("block");
+        std::fs::write(&p, doc(16)).unwrap();
+        match write_artifact(&p, &doc(1), &machine(1), false).unwrap() {
+            ArtifactWrite::Refused(msg) => {
+                assert!(
+                    msg.contains("16-CPU"),
+                    "message names the better host: {msg}"
+                );
+            }
+            ArtifactWrite::Written => panic!("1-CPU rerun must not clobber a 16-CPU artifact"),
+        }
+        // The file is untouched...
+        assert!(std::fs::read_to_string(&p).unwrap().contains("16"));
+        // ...until --force.
+        let got = write_artifact(&p, &doc(1), &machine(1), true).unwrap();
+        assert_eq!(got, ArtifactWrite::Written);
+        assert!(std::fs::read_to_string(&p).unwrap().contains("\"cpus\":1"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn equal_or_worse_provenance_overwrites_freely() {
+        let p = tmp("equal");
+        std::fs::write(&p, doc(4)).unwrap();
+        assert_eq!(
+            write_artifact(&p, &doc(4), &machine(4), false).unwrap(),
+            ArtifactWrite::Written
+        );
+        std::fs::write(&p, doc(2)).unwrap();
+        assert_eq!(
+            write_artifact(&p, &doc(8), &machine(8), false).unwrap(),
+            ArtifactWrite::Written
+        );
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn unreadable_existing_artifact_never_blocks() {
+        let p = tmp("garbled");
+        std::fs::write(&p, "not json").unwrap();
+        assert_eq!(
+            write_artifact(&p, &doc(1), &machine(1), false).unwrap(),
+            ArtifactWrite::Written
+        );
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,396 @@
+//! `kernel_bench` — the Dijkstra-kernel lane: serial binary heap vs the
+//! radius-aware bucket queue vs the fused batched multi-source sweep,
+//! written to `BENCH_kernel.json`.
+//!
+//! ```bash
+//! cargo run --release -p comm-bench --bin kernel_bench
+//! ```
+//!
+//! Three workloads, per the issue's acceptance grid:
+//!
+//! 1. **paper** — the Fig. 4 example (13 nodes, `Rmax = 8`), timed over
+//!    many repetitions; mostly a correctness anchor, the timings show the
+//!    small-graph constant factors;
+//! 2. **dblp** — the sampled synthetic DBLP dataset at the grid-default
+//!    keyword frequency and radius: the paper-scale number the issue's
+//!    acceptance criterion reads;
+//! 3. **torus** — a `side × side` torus grid (side 1000 → 1M nodes by
+//!    default, 100 with `--quick`), the large-diameter stress case where
+//!    bucket skipping matters most.
+//!
+//! Every workload is **certified before it is timed**: the bucket kernel
+//! and the batched sweep must reproduce the heap kernel's `NeighborSets`
+//! bit for bit (`dist` and `src` over every dimension × node), and the
+//! heap/bucket settle sequences — `(node, dist, source, parent)` in pop
+//! order — must be element-wise identical. A certification failure aborts
+//! the run; `BENCH_kernel.json` never holds timings for kernels that
+//! disagree.
+//!
+//! The report is written through the provenance guard
+//! ([`comm_bench::write_artifact`]): a run on a weaker machine (fewer
+//! CPUs) than the committed artifact's refuses to overwrite it unless
+//! `--force` is passed.
+
+use comm_bench::{write_artifact, ArtifactWrite, MachineInfo, Prepared, Scale};
+use comm_core::{NeighborSets, Parallelism};
+use comm_datasets::paper_example::{fig4_graph, fig4_keyword_nodes, FIG4_RMAX};
+use comm_graph::weight::index_to_u32;
+use comm_graph::{
+    graph_from_edges, Direction, EnginePool, Graph, Kernel, NodeId, RunGuard, Weight,
+};
+use std::time::Instant;
+
+struct Options {
+    out: String,
+    quick: bool,
+    force: bool,
+}
+
+const HELP: &str = "\
+usage: kernel_bench [options]
+
+Times the serial binary-heap Dijkstra kernel against the bucket-queue
+kernel and the fused batched multi-source sweep, certifying bit-identical
+results first, and writes BENCH_kernel.json.
+
+options:
+  --out PATH   where to write the report (default BENCH_kernel.json)
+  --quick      small torus + fewer repetitions (smoke setting)
+  --force      overwrite the artifact even if the existing one was
+               recorded on a machine with more CPUs
+  --help       this text";
+
+fn parse(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        out: "BENCH_kernel.json".to_owned(),
+        quick: false,
+        force: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--quick" => opts.quick = true,
+            "--force" => opts.force = true,
+            "--out" => {
+                opts.out = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| "--out needs a value".to_owned())?;
+            }
+            other => return Err(format!("unknown option '{other}' (try --help)")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+/// Best-of-`reps` wall clock for `f`, in milliseconds.
+fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1000.0);
+    }
+    best
+}
+
+/// One timed round of the bare `l` multi-source sweeps (no table
+/// rebuild) under the engine's current kernel, in milliseconds.
+fn sweep_round(
+    engine: &mut comm_graph::DijkstraEngine,
+    graph: &Graph,
+    seeds: &[Vec<NodeId>],
+    rmax: Weight,
+) -> f64 {
+    let t0 = Instant::now();
+    for s in seeds {
+        engine
+            .run_guarded(
+                graph,
+                Direction::Reverse,
+                s.iter().copied(),
+                rmax,
+                &RunGuard::unlimited(),
+                |_| {},
+            )
+            .expect("unlimited guard never trips");
+    }
+    t0.elapsed().as_secs_f64() * 1000.0
+}
+
+/// The torus of `comm_serve::workload`, rebuilt here so the bench does
+/// not depend on engine plumbing: 4-regular wrap-around grid, weights
+/// cycling 1.0/1.5/2.0, keyword `i` on nodes `≡ i (mod 5 + i)`.
+fn torus(side: usize, l: usize) -> (Graph, Vec<Vec<NodeId>>) {
+    let n = side * side;
+    let id = |r: usize, c: usize| index_to_u32((r % side) * side + (c % side));
+    let mut edges: Vec<(u32, u32, f64)> = Vec::with_capacity(n * 4);
+    let weights = [1.0, 1.5, 2.0];
+    for r in 0..side {
+        for c in 0..side {
+            let w1 = weights[(r + c) % weights.len()];
+            let w2 = weights[(r + 2 * c) % weights.len()];
+            edges.push((id(r, c), id(r, c + 1), w1));
+            edges.push((id(r, c + 1), id(r, c), w1));
+            edges.push((id(r, c), id(r + 1, c), w2));
+            edges.push((id(r + 1, c), id(r, c), w2));
+        }
+    }
+    let seeds = (0..l)
+        .map(|i| {
+            (0..n)
+                .filter(|v| v % (5 + i) == i)
+                .map(|v| NodeId(index_to_u32(v)))
+                .collect()
+        })
+        .collect();
+    (graph_from_edges(n, &edges), seeds)
+}
+
+/// The settle sequence of one multi-source sweep under `kernel`:
+/// `(node, dist bits, source, parent)` in pop order. Two kernels are
+/// bit-identical iff these sequences are equal element for element.
+fn settle_sequence(
+    graph: &Graph,
+    seeds: &[NodeId],
+    rmax: Weight,
+    kernel: Kernel,
+) -> Vec<(u32, u64, u32, u32)> {
+    let mut engine = comm_graph::DijkstraEngine::with_kernel(graph.node_count(), kernel);
+    let mut out = Vec::new();
+    engine
+        .run_guarded(
+            graph,
+            Direction::Reverse,
+            seeds.iter().copied(),
+            rmax,
+            &RunGuard::unlimited(),
+            |s| {
+                out.push((s.node.0, s.dist.get().to_bits(), s.source.0, s.parent.0));
+            },
+        )
+        .expect("unlimited guard never trips");
+    out
+}
+
+/// Recomputes the full `NeighborSets` table serially under `kernel` and
+/// returns the table for certification.
+fn recompute(
+    graph: &Graph,
+    pool: &EnginePool,
+    seeds: &[Vec<NodeId>],
+    rmax: Weight,
+    kernel: Kernel,
+) -> NeighborSets {
+    pool.set_kernel(kernel);
+    let mut ns = NeighborSets::new(seeds.len(), graph.node_count());
+    ns.recompute_all(graph, pool, seeds, rmax, Parallelism::serial());
+    ns
+}
+
+/// `dist`/`src` equality over every dimension × node.
+fn tables_identical(a: &NeighborSets, b: &NeighborSets, graph: &Graph) -> bool {
+    let n = graph.node_count();
+    (0..a.l()).all(|i| {
+        (0..n).all(|u| {
+            let u = NodeId(index_to_u32(u));
+            a.dist(i, u) == b.dist(i, u) && a.src(i, u) == b.src(i, u)
+        })
+    })
+}
+
+/// Runs one workload: certify heap/bucket/batched agreement, then time
+/// the three variants. Aborts the process on any disagreement.
+fn run_workload(
+    name: &str,
+    graph: &Graph,
+    seeds: &[Vec<NodeId>],
+    rmax: Weight,
+    reps: usize,
+) -> serde_json::Value {
+    let l = seeds.len();
+    let total_seeds: usize = seeds.iter().map(Vec::len).sum();
+    eprintln!(
+        "[{name}] n={} m={} l={l} seeds={total_seeds} rmax={rmax} reps={reps}",
+        graph.node_count(),
+        graph.edge_count(),
+    );
+    let pool = EnginePool::new();
+
+    // Certification first: engine-level settle sequences per dimension...
+    for dim_seeds in seeds {
+        let heap = settle_sequence(graph, dim_seeds, rmax, Kernel::Heap);
+        let bucket = settle_sequence(graph, dim_seeds, rmax, Kernel::Bucket);
+        assert_eq!(
+            heap, bucket,
+            "[{name}] bucket kernel settle sequence diverged from heap"
+        );
+    }
+    // ...then the full NeighborSets tables for all three variants.
+    let heap_ns = recompute(graph, &pool, seeds, rmax, Kernel::Heap);
+    let bucket_ns = recompute(graph, &pool, seeds, rmax, Kernel::Bucket);
+    pool.set_kernel(Kernel::Auto);
+    let mut batched_ns = NeighborSets::new(l, graph.node_count());
+    batched_ns
+        .recompute_all_batched_guarded(graph, &pool, seeds, rmax, &RunGuard::unlimited())
+        .expect("unlimited guard never trips");
+    assert!(
+        tables_identical(&heap_ns, &bucket_ns, graph),
+        "[{name}] bucket kernel NeighborSets diverged from heap"
+    );
+    assert!(
+        tables_identical(&heap_ns, &batched_ns, graph),
+        "[{name}] batched sweep NeighborSets diverged from heap"
+    );
+    eprintln!("  certified: bucket and batched are bit-identical to heap");
+
+    // Kernel-level timings first: the bare sweeps, heap vs bucket,
+    // interleaved per round so machine drift hits both kernels alike.
+    let mut engine = comm_graph::DijkstraEngine::new(graph.node_count());
+    let (mut heap_sweep_ms, mut bucket_sweep_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps.max(5) {
+        engine.set_kernel(Kernel::Heap);
+        heap_sweep_ms = heap_sweep_ms.min(sweep_round(&mut engine, graph, seeds, rmax));
+        engine.set_kernel(Kernel::Bucket);
+        bucket_sweep_ms = bucket_sweep_ms.min(sweep_round(&mut engine, graph, seeds, rmax));
+    }
+    eprintln!(
+        "  sweeps only: heap {heap_sweep_ms:9.3} ms | bucket {bucket_sweep_ms:9.3} ms ({:.2}x)",
+        heap_sweep_ms / bucket_sweep_ms,
+    );
+
+    // End-to-end `recompute_all` timings (sweeps + the O(l·n) table
+    // rebuild, which is kernel-independent), same interleaving.
+    let mut ns = NeighborSets::new(l, graph.node_count());
+    let (mut heap_ms, mut bucket_ms, mut batched_ms) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        pool.set_kernel(Kernel::Heap);
+        heap_ms = heap_ms.min(best_ms(1, || {
+            ns.recompute_all(graph, &pool, seeds, rmax, Parallelism::serial());
+        }));
+        pool.set_kernel(Kernel::Bucket);
+        bucket_ms = bucket_ms.min(best_ms(1, || {
+            ns.recompute_all(graph, &pool, seeds, rmax, Parallelism::serial());
+        }));
+        pool.set_kernel(Kernel::Auto);
+        batched_ms = batched_ms.min(best_ms(1, || {
+            ns.recompute_all_batched_guarded(graph, &pool, seeds, rmax, &RunGuard::unlimited())
+                .expect("unlimited guard never trips");
+        }));
+    }
+    eprintln!(
+        "  recompute_all: heap {heap_ms:9.3} ms | bucket {bucket_ms:9.3} ms ({:.2}x) | batched {batched_ms:9.3} ms ({:.2}x)",
+        heap_ms / bucket_ms,
+        heap_ms / batched_ms,
+    );
+
+    serde_json::json!({
+        "name": name,
+        "nodes": graph.node_count(),
+        "edges": graph.edge_count(),
+        "l": l,
+        "total_seeds": total_seeds,
+        "rmax": rmax.get(),
+        "reps": reps,
+        "certified_bit_identical": true,
+        "heap_sweep_ms": round3(heap_sweep_ms),
+        "bucket_sweep_ms": round3(bucket_sweep_ms),
+        "bucket_sweep_speedup": round3(heap_sweep_ms / bucket_sweep_ms),
+        "heap_ms": round3(heap_ms),
+        "bucket_ms": round3(bucket_ms),
+        "batched_ms": round3(batched_ms),
+        "bucket_speedup": round3(heap_ms / bucket_ms),
+        "batched_speedup": round3(heap_ms / batched_ms),
+    })
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            println!("{HELP}");
+            return;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut workloads = Vec::new();
+
+    // 1. The paper's running example.
+    let paper = fig4_graph();
+    let paper_seeds = fig4_keyword_nodes();
+    workloads.push(run_workload(
+        "paper-fig4",
+        &paper,
+        &paper_seeds,
+        Weight::new(FIG4_RMAX),
+        if opts.quick { 50 } else { 200 },
+    ));
+
+    // 2. Sampled synthetic DBLP at the grid defaults.
+    let scale = if opts.quick {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let p = Prepared::dblp(scale);
+    let (kwf, l, rmax, _k) = p.grid.defaults;
+    let kws = p.keywords(kwf, l);
+    let dblp_seeds: Vec<Vec<NodeId>> = kws
+        .iter()
+        .map(|kw| p.dataset.graph.keyword_nodes(kw).to_vec())
+        .collect();
+    workloads.push(run_workload(
+        "dblp-synthetic",
+        &p.dataset.graph.graph,
+        &dblp_seeds,
+        Weight::new(rmax),
+        if opts.quick { 3 } else { 5 },
+    ));
+
+    // 3. The large-diameter torus (1M nodes unless --quick).
+    let side = if opts.quick { 100 } else { 1000 };
+    let (torus_graph, torus_seeds) = torus(side, 4);
+    workloads.push(run_workload(
+        &format!("torus-{side}x{side}"),
+        &torus_graph,
+        &torus_seeds,
+        Weight::new(6.0),
+        if opts.quick { 3 } else { 3 },
+    ));
+
+    let machine = MachineInfo::capture();
+    let doc = serde_json::json!({
+        "machine": machine,
+        "quick": opts.quick,
+        "workloads": workloads,
+    });
+    let json = match serde_json::to_string_pretty(&doc) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot serialize report: {e}");
+            std::process::exit(1);
+        }
+    };
+    match write_artifact(&opts.out, &json, &machine, opts.force) {
+        Ok(ArtifactWrite::Written) => println!("wrote {}", opts.out),
+        Ok(ArtifactWrite::Refused(msg)) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", opts.out);
+            std::process::exit(1);
+        }
+    }
+}

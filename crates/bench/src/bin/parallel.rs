@@ -58,6 +58,7 @@ fn sweep(name: &str, reps: usize, mut f: impl FnMut(usize)) -> Vec<SpeedupSample
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let force = args.iter().any(|a| a == "--force");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -170,20 +171,26 @@ fn main() {
         );
     }
 
+    let machine = MachineInfo::capture();
     let report = ParallelBenchReport {
-        machine: MachineInfo::capture(),
+        machine: machine.clone(),
         dataset,
         microbench,
         batches,
     };
     match serde_json::to_string_pretty(&report) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(out_path, json) {
-                eprintln!("warning: could not write {out_path}: {e}");
-            } else {
+        // The provenance guard keeps a 1-CPU rerun from clobbering the
+        // committed multi-core numbers; CI records with --force.
+        Ok(json) => match comm_bench::write_artifact(out_path, &json, &machine, force) {
+            Ok(comm_bench::ArtifactWrite::Written) => {
                 println!("[done] wrote {out_path} in {:?}", t0.elapsed());
             }
-        }
+            Ok(comm_bench::ArtifactWrite::Refused(msg)) => {
+                eprintln!("warning: {msg}");
+                std::process::exit(1);
+            }
+            Err(e) => eprintln!("warning: could not write {out_path}: {e}"),
+        },
         Err(e) => eprintln!("warning: could not serialize report: {e}"),
     }
 }

@@ -25,6 +25,7 @@ struct Options {
     connections: usize,
     requests: usize,
     chaos: bool,
+    force: bool,
 }
 
 const HELP: &str = "\
@@ -36,6 +37,8 @@ options:
   --connections N   concurrent load-generator connections (default 8)
   --requests N      total requests to send (default 400)
   --no-chaos        disable fault injection (a clean-path baseline)
+  --force           overwrite the artifact even if the existing one was
+                    recorded on a machine with more CPUs
   --help            this text";
 
 fn parse(args: &[String]) -> Result<Option<Options>, String> {
@@ -45,6 +48,7 @@ fn parse(args: &[String]) -> Result<Option<Options>, String> {
         connections: 8,
         requests: 400,
         chaos: true,
+        force: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -64,6 +68,7 @@ fn parse(args: &[String]) -> Result<Option<Options>, String> {
             "--connections" => opts.connections = num(value("--connections")?, "--connections")?,
             "--requests" => opts.requests = num(value("--requests")?, "--requests")?,
             "--no-chaos" => opts.chaos = false,
+            "--force" => opts.force = true,
             other => return Err(format!("unknown option '{other}' (try --help)")),
         }
     }
@@ -162,7 +167,8 @@ fn main() {
             std::process::exit(1);
         }
     };
-    doc["machine"] = match serde_json::to_value(MachineInfo::capture()) {
+    let machine = MachineInfo::capture();
+    doc["machine"] = match serde_json::to_value(&machine) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: machine info did not serialize: {e}");
@@ -183,9 +189,16 @@ fn main() {
             std::process::exit(1);
         }
     };
-    if let Err(e) = std::fs::write(&opts.out, json + "\n") {
-        eprintln!("error: could not write {}: {e}", opts.out);
-        std::process::exit(1);
+    match comm_bench::write_artifact(&opts.out, &json, &machine, opts.force) {
+        Ok(comm_bench::ArtifactWrite::Written) => {}
+        Ok(comm_bench::ArtifactWrite::Refused(msg)) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", opts.out);
+            std::process::exit(1);
+        }
     }
     println!(
         "wrote {}: {} sent, {} complete, {} degraded, {} overloaded ({} server sheds)",

@@ -25,6 +25,8 @@ options:
   --k N                 top-k per query (default: grid default)
   --repeat N            workload replicas (default 2)
   --deadline SECS       per-query deadline (default 30)
+  --kernel K            Dijkstra kernel: heap | bucket | auto (default
+                        auto; all kernels are bit-identical)
   --out PATH            also write the report as JSON
   --help                this text";
 
@@ -36,6 +38,7 @@ struct Options {
     k: Option<usize>,
     repeat: usize,
     deadline: u64,
+    kernel: comm_graph::Kernel,
     out: Option<String>,
 }
 
@@ -48,6 +51,7 @@ fn parse_options(args: &[String]) -> Result<Option<Options>, String> {
         k: None,
         repeat: 2,
         deadline: 30,
+        kernel: comm_graph::Kernel::Auto,
         out: None,
     };
     let mut it = args.iter();
@@ -69,6 +73,9 @@ fn parse_options(args: &[String]) -> Result<Option<Options>, String> {
             "--repeat" => opts.repeat = parse_num(&value("--repeat")?, "--repeat")?,
             "--deadline" => {
                 opts.deadline = parse_num(&value("--deadline")?, "--deadline")? as u64;
+            }
+            "--kernel" => {
+                opts.kernel = value("--kernel")?.parse().map_err(|e| format!("{e}"))?;
             }
             "--out" => opts.out = Some(value("--out")?),
             other => return Err(format!("unknown option '{other}' (try --help)")),
@@ -129,6 +136,9 @@ pub fn run(args: &[String], cancel: std::sync::Arc<std::sync::atomic::AtomicBool
         }
     }
 
+    // Worker threads check out pooled engines, so stamping the shared
+    // pool routes the kernel choice into every sweep of the run.
+    comm_graph::EnginePool::global().set_kernel(opts.kernel);
     let parallelism = opts
         .threads
         .map_or_else(Parallelism::auto, Parallelism::new);

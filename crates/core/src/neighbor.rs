@@ -26,6 +26,11 @@ pub const MAX_KEYWORDS: usize = u8::MAX as usize;
 /// [`NeighborSets::recompute_all_guarded`].
 const REBUILD_CHUNK: usize = 4096;
 
+/// Minimum total seed count across all dimensions before the serial path
+/// fuses the `l` sweeps into one batched multi-source pass. Below this the
+/// sweeps are tiny and the per-dimension loop's smaller scratch wins.
+const BATCH_MIN_TOTAL_SEEDS: usize = 64;
+
 /// The best core found by a `BestCore()` scan.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BestCore {
@@ -212,6 +217,10 @@ impl NeighborSets {
     /// `seeds.len()` must equal `l`. On interruption the table is left
     /// partially refilled — callers must abandon the enumeration, exactly
     /// as for an interrupted `recompute_dim_guarded`.
+    ///
+    /// A serial caller with enough seed mass is routed through
+    /// [`recompute_all_batched_guarded`](Self::recompute_all_batched_guarded)
+    /// — the fused pass is bit-identical, so the selection is invisible.
     pub fn recompute_all_guarded(
         &mut self,
         graph: &Graph,
@@ -222,6 +231,9 @@ impl NeighborSets {
         par: Parallelism,
     ) -> Result<(), InterruptReason> {
         debug_assert_eq!(seeds.len(), self.l);
+        if self.batching_profitable(par, seeds) {
+            return self.recompute_all_batched_guarded(graph, pool, seeds, rmax, guard);
+        }
         self.sweeps += self.l;
         let n = self.n;
         let l = self.l;
@@ -289,6 +301,84 @@ impl NeighborSets {
             })
             .collect();
         par.map(rebuild_tasks);
+        Ok(())
+    }
+
+    /// Whether [`recompute_all_guarded`](Self::recompute_all_guarded)
+    /// routes through the fused batched pass: only for serial callers
+    /// (a parallel fan-out already keeps every worker busy), only with
+    /// at least two dimensions to fuse, only when the total seed mass
+    /// clears [`BATCH_MIN_TOTAL_SEEDS`], and only when the virtual id
+    /// space `l·n` fits the engine's `u32` node ids.
+    fn batching_profitable(&self, par: Parallelism, seeds: &[Vec<NodeId>]) -> bool {
+        par.is_serial()
+            && self.l >= 2
+            && self
+                .l
+                .checked_mul(self.n)
+                .and_then(comm_graph::weight::try_index_to_u32)
+                .is_some()
+            && seeds.iter().map(Vec::len).sum::<usize>() >= BATCH_MIN_TOTAL_SEEDS
+    }
+
+    /// Recomputes every dimension in **one** fused multi-source sweep:
+    /// the `l` truncated reverse Dijkstras of
+    /// [`recompute_all_guarded`](Self::recompute_all_guarded) share a
+    /// single frontier over virtual `(dimension, node)` ids
+    /// ([`DijkstraEngine::run_batched_guarded`]), so the graph's adjacency
+    /// streams through one queue and one scratch reset instead of `l`.
+    ///
+    /// Per-dimension results are bit-identical to the fan-out path and to
+    /// the serial `recompute_dim_guarded` loop (the queue's exact
+    /// `(dist, id)` order projects onto each dimension as exactly its
+    /// standalone settle order); the `sum`/`count` rebuild keeps the fixed
+    /// dimension order `0..l`. The property tests assert all three agree.
+    ///
+    /// The engine borrowed from `pool` is sized for `l·n` virtual nodes;
+    /// the pool trims it back to class capacity on release, so batched
+    /// sweeps do not pin `l×` scratch forever. Callers must ensure `l·n`
+    /// fits `u32` (the auto-selection gate checks this).
+    pub fn recompute_all_batched_guarded(
+        &mut self,
+        graph: &Graph,
+        pool: &EnginePool,
+        seeds: &[Vec<NodeId>],
+        rmax: Weight,
+        guard: &RunGuard,
+    ) -> Result<(), InterruptReason> {
+        debug_assert_eq!(seeds.len(), self.l);
+        self.sweeps += self.l;
+        let n = self.n;
+        let l = self.l;
+        if n == 0 {
+            return Ok(());
+        }
+        self.dist.fill(Weight::INFINITY);
+        self.src.fill(NO_SRC);
+        let dist = &mut self.dist;
+        let src = &mut self.src;
+        let mut engine = pool.acquire(l * n);
+        engine.run_batched_guarded(graph, Direction::Reverse, seeds, rmax, guard, |dim, s| {
+            let idx = dim * n + s.node.index();
+            dist[idx] = s.dist;
+            src[idx] = s.source.0;
+        })?;
+        drop(engine);
+        // Rebuild sum/count from zero in dimension order — the same
+        // addition order as the fan-out rebuild, hence bit-identical.
+        for u in 0..n {
+            let mut acc = Weight::ZERO;
+            let mut finite: u8 = 0;
+            for i in 0..l {
+                let d = dist[i * n + u];
+                if d.is_finite() {
+                    acc += d;
+                    finite += 1;
+                }
+            }
+            self.sum[u] = acc;
+            self.count[u] = finite;
+        }
         Ok(())
     }
 
@@ -518,6 +608,60 @@ mod tests {
         }
         // Engines were parked back in the pool after the fan-out.
         assert!(pool.pooled_engines() >= 1);
+    }
+
+    #[test]
+    fn recompute_all_batched_matches_fanout_bitwise() {
+        let g = fig4();
+        let pool = EnginePool::new();
+        let r = Weight::new(8.0);
+        let seeds = v_sets();
+        let mut fanned = NeighborSets::new(3, g.node_count());
+        fanned.recompute_all(&g, &pool, &seeds, r, Parallelism::serial());
+        let mut batched = NeighborSets::new(3, g.node_count());
+        batched
+            .recompute_all_batched_guarded(&g, &pool, &seeds, r, &RunGuard::unlimited())
+            .unwrap();
+        assert_eq!(batched.dist, fanned.dist);
+        assert_eq!(batched.src, fanned.src);
+        assert_eq!(batched.sum, fanned.sum);
+        assert_eq!(batched.count, fanned.count);
+        assert_eq!(batched.sweeps(), fanned.sweeps());
+        assert_eq!(batched.best_core(), fanned.best_core());
+        // The paper's walkthrough answer survives the fused pass.
+        let best = batched.best_core().unwrap();
+        assert_eq!(best.center, NodeId(7));
+        assert_eq!(best.cost, Weight::new(7.0));
+    }
+
+    #[test]
+    fn batched_recompute_respects_guard_and_recovers() {
+        let g = fig4();
+        let pool = EnginePool::new();
+        let seeds = v_sets();
+        let mut ns = NeighborSets::new(3, g.node_count());
+        let tripping = RunGuard::new().with_settled_budget(2);
+        let err = ns
+            .recompute_all_batched_guarded(&g, &pool, &seeds, Weight::new(8.0), &tripping)
+            .unwrap_err();
+        assert_eq!(err, InterruptReason::SettledBudgetExhausted);
+        // A full rerun over the same table lands on the exact answer.
+        ns.recompute_all_batched_guarded(&g, &pool, &seeds, Weight::new(8.0), &RunGuard::new())
+            .unwrap();
+        assert_eq!(ns.best_core().unwrap().center, NodeId(7));
+    }
+
+    #[test]
+    fn batching_gate_prefers_fanout_for_tiny_or_parallel_inputs() {
+        let ns = NeighborSets::new(3, 100);
+        let tiny: Vec<Vec<NodeId>> = vec![vec![NodeId(0)]; 3];
+        let big: Vec<Vec<NodeId>> =
+            vec![(0..BATCH_MIN_TOTAL_SEEDS as u32).map(NodeId).collect(); 3];
+        assert!(!ns.batching_profitable(Parallelism::serial(), &tiny));
+        assert!(ns.batching_profitable(Parallelism::serial(), &big));
+        assert!(!ns.batching_profitable(Parallelism::new(4), &big));
+        // One dimension has nothing to fuse.
+        assert!(!NeighborSets::new(1, 100).batching_profitable(Parallelism::serial(), &big[..1]));
     }
 
     #[test]

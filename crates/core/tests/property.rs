@@ -8,7 +8,7 @@ use comm_core::{
     CommK, Community, Core, CostFn, EnginePool, InterruptReason, LawlerK, NeighborSets, Outcome,
     Parallelism, ProjectionIndex, QuerySpec, RunGuard,
 };
-use comm_graph::{DijkstraEngine, Graph, GraphBuilder, NodeId, Weight};
+use comm_graph::{DijkstraEngine, Graph, GraphBuilder, Kernel, NodeId, Weight};
 use proptest::prelude::*;
 
 /// A random sparse weighted digraph plus keyword sets and a radius.
@@ -330,6 +330,45 @@ proptest! {
                     "count at node {} at {} threads", u, threads);
             }
             prop_assert_eq!(par.best_core(), serial.best_core());
+        }
+    }
+
+    /// The fused batched refill is bit-identical to the serial
+    /// per-dimension loop under every kernel: same dist/src per dimension
+    /// and node, same sum/count accumulators, same best core. (Calling
+    /// `recompute_all_batched_guarded` directly bypasses the seed-mass
+    /// gate, so the fused pass itself is exercised even on tiny inputs.)
+    #[test]
+    fn batched_neighbor_sets_match_serial(s in scenario()) {
+        let (g, spec) = build(&s);
+        let l = spec.l();
+        let n = g.node_count();
+        let mut serial = NeighborSets::new(l, n);
+        let mut engine = DijkstraEngine::new(n);
+        for (i, seeds) in spec.keyword_nodes.iter().enumerate() {
+            serial.recompute_dim(&g, &mut engine, i, seeds.iter().copied(), spec.rmax);
+        }
+        let pool = EnginePool::new();
+        for kernel in [Kernel::Heap, Kernel::Bucket, Kernel::Auto] {
+            pool.set_kernel(kernel);
+            let mut batched = NeighborSets::new(l, n);
+            batched
+                .recompute_all_batched_guarded(
+                    &g, &pool, &spec.keyword_nodes, spec.rmax, &RunGuard::unlimited())
+                .expect("unlimited guard never trips");
+            for u in (0..n as u32).map(NodeId) {
+                for i in 0..l {
+                    prop_assert_eq!(batched.dist(i, u), serial.dist(i, u),
+                        "dist dim {} node {} kernel {}", i, u, kernel);
+                    prop_assert_eq!(batched.src(i, u), serial.src(i, u),
+                        "src dim {} node {} kernel {}", i, u, kernel);
+                }
+                prop_assert_eq!(batched.sum(u), serial.sum(u),
+                    "sum at node {} kernel {}", u, kernel);
+                prop_assert_eq!(batched.count(u), serial.count(u),
+                    "count at node {} kernel {}", u, kernel);
+            }
+            prop_assert_eq!(batched.best_core(), serial.best_core());
         }
     }
 

@@ -590,7 +590,13 @@ pub fn load_container_guarded(path: impl AsRef<Path>, guard: &RunGuard) -> io::R
         None => None,
     };
     Ok(Container {
-        graph: Graph { n, m, fwd, rev },
+        graph: Graph {
+            n,
+            m,
+            fwd,
+            rev,
+            min_pos_w: std::sync::OnceLock::new(),
+        },
         keyword_nodes,
         extra,
     })

@@ -9,6 +9,7 @@ use crate::storage::Storage;
 use crate::weight::{index_to_u32, Weight};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Identifier of a node (tuple) in a database graph.
 ///
@@ -147,6 +148,11 @@ pub struct Graph {
     pub(crate) m: usize,
     pub(crate) fwd: Csr,
     pub(crate) rev: Csr,
+    /// Lazily computed minimum positive edge weight (`INFINITY` when no
+    /// edge has positive weight). The bucket Dijkstra kernel sizes its
+    /// distance buckets from this; `OnceLock` so the `O(m)` scan happens
+    /// at most once per graph and concurrent sweeps can share it.
+    pub(crate) min_pos_w: OnceLock<Weight>,
 }
 
 impl Graph {
@@ -245,6 +251,23 @@ impl Graph {
                 + c.weights.len() * std::mem::size_of::<Weight>()
         };
         per_csr(&self.fwd) + per_csr(&self.rev)
+    }
+
+    /// The smallest strictly positive edge weight, or `None` when the
+    /// graph has no positively weighted edge. Computed once per graph by
+    /// an `O(m)` scan of the forward weights and cached; both adjacency
+    /// halves store the same multiset of weights, so one half suffices.
+    pub fn min_positive_weight(&self) -> Option<Weight> {
+        let w = *self.min_pos_w.get_or_init(|| {
+            self.fwd
+                .weights
+                .iter()
+                .copied()
+                .filter(|&w| w > Weight::ZERO)
+                .min()
+                .unwrap_or(Weight::INFINITY)
+        });
+        w.is_finite().then_some(w)
     }
 
     /// Whether the CSR arrays are zero-copy views into a mapped container
@@ -393,6 +416,7 @@ impl GraphBuilder {
             m: self.edges.len(),
             fwd,
             rev,
+            min_pos_w: OnceLock::new(),
         };
         #[cfg(any(debug_assertions, feature = "verify"))]
         g.assert_valid();

@@ -11,14 +11,28 @@
 //! * the expanding baselines = truncated sweeps per keyword node / per
 //!   candidate center.
 //!
-//! [`DijkstraEngine`] owns the per-node scratch arrays and recycles them
-//! across runs with an epoch counter, so a sweep costs
+//! [`DijkstraEngine`] owns flat per-node scratch arrays (SoA: `dist`,
+//! `source`, `parent`, `settled`) and recycles them across runs with an
+//! explicit touched-list reset: every first write to a node records its
+//! index, and the next sweep restores exactly those entries before
+//! seeding. The hot relaxation loop therefore carries no epoch-check
+//! branch — "untouched" is simply `dist == INFINITY` — and a sweep costs
 //! `O(n_reached · log n_reached + m_reached)` with no per-run allocation
-//! beyond heap growth.
+//! beyond queue growth.
+//!
+//! Two priority-queue kernels sit behind the same API, selected by
+//! [`Kernel`]: the classic lazy-deletion binary heap, and a radius-aware
+//! bucket queue ([`crate::bucket`]) that is bit-identical by construction.
+//! [`DijkstraEngine::run_batched_guarded`] additionally fuses many
+//! per-dimension sweeps into one pass over a shared frontier of virtual
+//! `(dimension, node)` ids — the kernel behind the batched
+//! `NeighborSets` recompute in `comm-core`.
 
+use crate::bucket::BucketQueue;
 use crate::csr::{Direction, Graph, NodeId};
 use crate::guard::{InterruptReason, RunGuard};
-use crate::weight::Weight;
+use crate::kernel::{Kernel, ResolvedKernel};
+use crate::weight::{index_to_u32, Weight};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -39,71 +53,167 @@ pub struct Settled {
     pub parent: NodeId,
 }
 
+/// The priority queues pluggable under one sweep loop. Both pop entries
+/// in exact globally sorted `(dist, node)` order — the bit-identical
+/// contract between kernels rests on that shared property.
+trait Frontier {
+    fn push(&mut self, d: Weight, v: NodeId);
+    fn pop(&mut self) -> Option<(Weight, NodeId)>;
+}
+
+impl Frontier for BinaryHeap<Reverse<(Weight, NodeId)>> {
+    #[inline]
+    fn push(&mut self, d: Weight, v: NodeId) {
+        BinaryHeap::push(self, Reverse((d, v)));
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(Weight, NodeId)> {
+        BinaryHeap::pop(self).map(|Reverse(e)| e)
+    }
+}
+
+impl Frontier for BucketQueue {
+    #[inline]
+    fn push(&mut self, d: Weight, v: NodeId) {
+        BucketQueue::push(self, d, v);
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(Weight, NodeId)> {
+        BucketQueue::pop(self)
+    }
+}
+
 /// Reusable Dijkstra state for one graph size.
 pub struct DijkstraEngine {
     dist: Vec<Weight>,
     source: Vec<u32>,
     parent: Vec<u32>,
-    epoch: Vec<u32>,
     settled: Vec<bool>,
-    current_epoch: u32,
+    /// Indices written since the last reset; the next sweep restores
+    /// exactly these entries instead of stamping epochs per node.
+    touched: Vec<u32>,
     heap: BinaryHeap<Reverse<(Weight, NodeId)>>,
+    bucket: BucketQueue,
+    kernel: Kernel,
 }
 
 impl DijkstraEngine {
-    /// Creates an engine for graphs with up to `n` nodes.
+    /// Creates an engine for graphs with up to `n` nodes, with the
+    /// default [`Kernel::Auto`] queue selection.
     pub fn new(n: usize) -> DijkstraEngine {
+        DijkstraEngine::with_kernel(n, Kernel::Auto)
+    }
+
+    /// Creates an engine with an explicit queue kernel.
+    pub fn with_kernel(n: usize, kernel: Kernel) -> DijkstraEngine {
         DijkstraEngine {
             dist: vec![Weight::INFINITY; n],
             source: vec![NO_SOURCE; n],
             parent: vec![NO_SOURCE; n],
-            epoch: vec![0; n],
             settled: vec![false; n],
-            current_epoch: 0,
+            touched: Vec::new(),
             heap: BinaryHeap::new(),
+            bucket: BucketQueue::default(),
+            kernel,
         }
+    }
+
+    /// The queue kernel sweeps currently run on.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Selects the queue kernel for subsequent sweeps. Results are
+    /// bit-identical across kernels; only the constant factor changes.
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.kernel = kernel;
+    }
+
+    /// The node capacity the scratch arrays are sized for.
+    pub fn capacity(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Resident scratch bytes across the SoA arrays and both queues —
+    /// what [`crate::EnginePool`] charges and trims.
+    pub fn scratch_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.dist.capacity() * size_of::<Weight>()
+            + self.source.capacity() * size_of::<u32>()
+            + self.parent.capacity() * size_of::<u32>()
+            + self.settled.capacity()
+            + self.touched.capacity() * size_of::<u32>()
+            + self.heap.capacity() * size_of::<Reverse<(Weight, NodeId)>>()
+            + self.bucket.retained_bytes()
     }
 
     /// Grows the engine to accommodate `n` nodes (no-op if large enough).
-    pub fn ensure_capacity(&mut self, n: usize) {
-        if self.dist.len() < n {
-            self.dist.resize(n, Weight::INFINITY);
-            self.source.resize(n, NO_SOURCE);
-            self.parent.resize(n, NO_SOURCE);
-            self.epoch.resize(n, 0);
-            self.settled.resize(n, false);
+    /// Returns whether the scratch actually grew, so guarded callers can
+    /// re-charge their byte budget only on growth.
+    pub fn ensure_capacity(&mut self, n: usize) -> bool {
+        if self.dist.len() >= n {
+            return false;
         }
+        self.dist.resize(n, Weight::INFINITY);
+        self.source.resize(n, NO_SOURCE);
+        self.parent.resize(n, NO_SOURCE);
+        self.settled.resize(n, false);
+        true
     }
 
-    #[inline]
-    fn fresh(&mut self) {
-        self.current_epoch = self.current_epoch.wrapping_add(1);
-        if self.current_epoch == 0 {
-            // Extremely rare wrap: reset stamps so stale entries cannot alias.
-            self.epoch.fill(u32::MAX);
-            self.current_epoch = 1;
+    /// Shrinks scratch retained beyond `cap` nodes back to `cap`, and
+    /// releases queue allocations. The pool calls this when an engine
+    /// returns from an outsized sweep, so one huge graph stops pinning
+    /// worst-case scratch in every recycled engine.
+    ///
+    /// The touched-list reset runs first: its indices may point past
+    /// `cap`, so truncating before restoring would leave stale finite
+    /// distances behind (and the list itself dangling).
+    pub fn trim_scratch(&mut self, cap: usize) {
+        self.reset_scratch();
+        if self.dist.len() > cap {
+            self.dist.truncate(cap);
+            self.dist.shrink_to_fit();
+            self.source.truncate(cap);
+            self.source.shrink_to_fit();
+            self.parent.truncate(cap);
+            self.parent.shrink_to_fit();
+            self.settled.truncate(cap);
+            self.settled.shrink_to_fit();
         }
-        self.heap.clear();
+        self.touched = Vec::new();
+        self.heap = BinaryHeap::new();
+        self.bucket.trim();
+    }
+
+    /// Restores every touched scratch entry to its pristine state.
+    /// `source`/`parent` need no restore: they are only read for settled
+    /// nodes, and settling requires a prior [`relax`](Self::relax) that
+    /// rewrites both.
+    fn reset_scratch(&mut self) {
+        for &i in &self.touched {
+            let i = i as usize;
+            self.dist[i] = Weight::INFINITY;
+            self.settled[i] = false;
+        }
+        self.touched.clear();
     }
 
     #[inline]
     fn relax(&mut self, node: NodeId, dist: Weight, source: NodeId, parent: NodeId) -> bool {
         let i = node.index();
-        if self.epoch[i] != self.current_epoch {
-            self.epoch[i] = self.current_epoch;
-            self.settled[i] = false;
-            self.dist[i] = dist;
-            self.source[i] = source.0;
-            self.parent[i] = parent.0;
-            true
-        } else if dist < self.dist[i] && !self.settled[i] {
-            self.dist[i] = dist;
-            self.source[i] = source.0;
-            self.parent[i] = parent.0;
-            true
-        } else {
-            false
+        if self.settled[i] || dist >= self.dist[i] {
+            return false;
         }
+        if self.dist[i] == Weight::INFINITY {
+            self.touched.push(node.0);
+        }
+        self.dist[i] = dist;
+        self.source[i] = source.0;
+        self.parent[i] = parent.0;
+        true
     }
 
     /// Runs a truncated multi-source Dijkstra.
@@ -111,7 +221,7 @@ impl DijkstraEngine {
     /// Seeds start at distance `0`. Nodes with shortest distance `≤ radius`
     /// are settled and passed to `visit` in non-decreasing distance order.
     /// Each settled node carries the seed its shortest path leaves from
-    /// (ties broken by which seed reaches it first through the heap, which
+    /// (ties broken by which seed reaches it first through the queue, which
     /// is deterministic for a fixed graph).
     ///
     /// Returns the number of settled nodes.
@@ -132,9 +242,9 @@ impl DijkstraEngine {
     ///
     /// On interruption the sweep stops before settling (or reporting) any
     /// further node and returns the guard's reason; nodes already passed to
-    /// `visit` form a valid prefix of the unguarded settle order. Engine
-    /// scratch state is epoch-stamped, so an interrupted engine is safe to
-    /// reuse.
+    /// `visit` form a valid prefix of the unguarded settle order. The
+    /// touched list survives interruption, so an interrupted engine resets
+    /// itself on the next sweep and is safe to reuse.
     pub fn run_guarded<F: FnMut(Settled)>(
         &mut self,
         graph: &Graph,
@@ -144,15 +254,57 @@ impl DijkstraEngine {
         guard: &RunGuard,
         mut visit: F,
     ) -> Result<usize, InterruptReason> {
-        self.ensure_capacity(graph.node_count());
-        self.fresh();
-        for seed in seeds {
-            if self.relax(seed, Weight::ZERO, seed, seed) {
-                self.heap.push(Reverse((Weight::ZERO, seed)));
+        if self.ensure_capacity(graph.node_count()) {
+            guard.check_bytes(self.scratch_bytes())?;
+        }
+        self.reset_scratch();
+        match self.kernel.resolve(graph, radius) {
+            ResolvedKernel::Heap => {
+                // The queue is taken out of `self` for the duration of the
+                // sweep so the sweep loop can borrow scratch mutably; it is
+                // restored (drained) even on the interrupt path. After a
+                // panicking `visit` the field holds a fresh empty queue.
+                let mut queue = std::mem::take(&mut self.heap);
+                queue.clear();
+                for seed in seeds {
+                    if self.relax(seed, Weight::ZERO, seed, seed) {
+                        Frontier::push(&mut queue, Weight::ZERO, seed);
+                    }
+                }
+                let out = self.sweep(graph, dir, radius, guard, &mut queue, &mut visit);
+                queue.clear();
+                self.heap = queue;
+                out
+            }
+            ResolvedKernel::Bucket(plan) => {
+                let mut queue = std::mem::take(&mut self.bucket);
+                queue.clear();
+                queue.begin(&plan);
+                for seed in seeds {
+                    if self.relax(seed, Weight::ZERO, seed, seed) {
+                        Frontier::push(&mut queue, Weight::ZERO, seed);
+                    }
+                }
+                let out = self.sweep(graph, dir, radius, guard, &mut queue, &mut visit);
+                queue.clear();
+                self.bucket = queue;
+                out
             }
         }
+    }
+
+    /// The kernel-generic settle loop shared by both queues.
+    fn sweep<Q: Frontier, F: FnMut(Settled)>(
+        &mut self,
+        graph: &Graph,
+        dir: Direction,
+        radius: Weight,
+        guard: &RunGuard,
+        queue: &mut Q,
+        visit: &mut F,
+    ) -> Result<usize, InterruptReason> {
         let mut settled_count = 0;
-        while let Some(Reverse((d, u))) = self.heap.pop() {
+        while let Some((d, u)) = queue.pop() {
             let i = u.index();
             if self.settled[i] || d > self.dist[i] {
                 continue; // lazily deleted entry
@@ -170,7 +322,123 @@ impl DijkstraEngine {
             for (v, w) in graph.neighbors(u, dir) {
                 let nd = d + w;
                 if nd <= radius && self.relax(v, nd, source, u) {
-                    self.heap.push(Reverse((nd, v)));
+                    queue.push(nd, v);
+                }
+            }
+        }
+        Ok(settled_count)
+    }
+
+    /// Fuses `seeds.len()` independent per-dimension sweeps into one pass
+    /// over a shared frontier. Dimension `k`'s sweep runs in the virtual
+    /// id space `k·n .. (k+1)·n`; edges never cross dimensions, and the
+    /// queue's exact `(dist, virtual id)` order projects onto each
+    /// dimension as exactly that dimension's standalone `(dist, node)`
+    /// settle order — so per-dimension results (distances, sources,
+    /// parents) are bit-identical to `seeds.len()` separate
+    /// [`run_guarded`](Self::run_guarded) calls, while the graph's
+    /// adjacency is streamed through one queue with one scratch reset.
+    ///
+    /// `visit` receives `(dimension, settled)` with node/source/parent
+    /// already mapped back to real ids. The guard is consulted once per
+    /// settled `(dimension, node)` pair; on interruption the visited
+    /// pairs form a valid prefix of the fused settle order (dimensions
+    /// interleaved by distance).
+    ///
+    /// The caller must ensure `seeds.len() · graph.node_count()` fits the
+    /// `u32` id space (the batched `NeighborSets` path gates on this and
+    /// falls back to per-dimension sweeps otherwise).
+    pub fn run_batched_guarded<F: FnMut(usize, Settled)>(
+        &mut self,
+        graph: &Graph,
+        dir: Direction,
+        seeds: &[Vec<NodeId>],
+        radius: Weight,
+        guard: &RunGuard,
+        mut visit: F,
+    ) -> Result<usize, InterruptReason> {
+        let n = graph.node_count();
+        if self.ensure_capacity(seeds.len() * n) {
+            guard.check_bytes(self.scratch_bytes())?;
+        }
+        self.reset_scratch();
+        let seed_all = |eng: &mut DijkstraEngine, queue: &mut dyn Frontier| {
+            for (dim, dim_seeds) in seeds.iter().enumerate() {
+                let base = dim * n;
+                for &s in dim_seeds {
+                    let vid = NodeId(index_to_u32(base + s.index()));
+                    if eng.relax(vid, Weight::ZERO, vid, vid) {
+                        queue.push(Weight::ZERO, vid);
+                    }
+                }
+            }
+        };
+        match self.kernel.resolve(graph, radius) {
+            ResolvedKernel::Heap => {
+                let mut queue = std::mem::take(&mut self.heap);
+                queue.clear();
+                seed_all(self, &mut queue);
+                let out = self.sweep_batched(graph, dir, n, radius, guard, &mut queue, &mut visit);
+                queue.clear();
+                self.heap = queue;
+                out
+            }
+            ResolvedKernel::Bucket(plan) => {
+                let mut queue = std::mem::take(&mut self.bucket);
+                queue.clear();
+                queue.begin(&plan);
+                seed_all(self, &mut queue);
+                let out = self.sweep_batched(graph, dir, n, radius, guard, &mut queue, &mut visit);
+                queue.clear();
+                self.bucket = queue;
+                out
+            }
+        }
+    }
+
+    /// The settle loop of the fused pass: like [`sweep`](Self::sweep) but
+    /// over virtual `(dimension, node)` ids, translating adjacency through
+    /// the dimension's base offset.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_batched<Q: Frontier, F: FnMut(usize, Settled)>(
+        &mut self,
+        graph: &Graph,
+        dir: Direction,
+        n: usize,
+        radius: Weight,
+        guard: &RunGuard,
+        queue: &mut Q,
+        visit: &mut F,
+    ) -> Result<usize, InterruptReason> {
+        let mut settled_count = 0;
+        while let Some((d, vu)) = queue.pop() {
+            let i = vu.index();
+            if self.settled[i] || d > self.dist[i] {
+                continue; // lazily deleted entry
+            }
+            guard.note_settled(1)?;
+            self.settled[i] = true;
+            settled_count += 1;
+            let dim = i / n;
+            let base = dim * n;
+            let u = NodeId(index_to_u32(i - base));
+            let source = NodeId(self.source[i]);
+            visit(
+                dim,
+                Settled {
+                    node: u,
+                    dist: d,
+                    source: NodeId(index_to_u32(source.index() - base)),
+                    parent: NodeId(index_to_u32(self.parent[i] as usize - base)),
+                },
+            );
+            for (v, w) in graph.neighbors(u, dir) {
+                let nd = d + w;
+                if nd <= radius {
+                    let vv = NodeId(index_to_u32(base + v.index()));
+                    if self.relax(vv, nd, source, vu) {
+                        queue.push(nd, vv);
+                    }
                 }
             }
         }
@@ -451,5 +719,211 @@ mod tests {
             |_| {},
         );
         assert_eq!(count, 0);
+    }
+
+    /// Collects the full settle trace of one sweep under a given kernel.
+    fn trace(
+        eng: &mut DijkstraEngine,
+        g: &Graph,
+        seeds: &[NodeId],
+        radius: Weight,
+    ) -> Vec<Settled> {
+        let mut out = Vec::new();
+        eng.run(g, Direction::Forward, seeds.iter().copied(), radius, |s| {
+            out.push(s)
+        });
+        out
+    }
+
+    #[test]
+    fn bucket_kernel_is_bit_identical_to_heap() {
+        let g = graph_from_edges(
+            7,
+            &[
+                (0, 1, 1.0),
+                (0, 2, 1.0), // tie: 1 and 2 both at dist 1
+                (1, 3, 0.5),
+                (2, 3, 0.5), // tie through two parents
+                (3, 4, 0.0), // zero-weight edge within a bucket
+                (4, 5, 2.25),
+                (1, 6, 3.75),
+            ],
+        );
+        let mut heap_eng = DijkstraEngine::with_kernel(7, Kernel::Heap);
+        let mut bucket_eng = DijkstraEngine::with_kernel(7, Kernel::Bucket);
+        for radius in [0.0, 1.0, 1.5, 4.0, 100.0] {
+            let r = Weight::new(radius);
+            let seeds = [NodeId(0), NodeId(2)];
+            assert_eq!(
+                trace(&mut heap_eng, &g, &seeds, r),
+                trace(&mut bucket_eng, &g, &seeds, r),
+                "kernels diverged at radius {radius}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_kernel_interruption_prefix_matches_heap() {
+        let g = line();
+        let mut heap_eng = DijkstraEngine::with_kernel(4, Kernel::Heap);
+        let mut bucket_eng = DijkstraEngine::with_kernel(4, Kernel::Bucket);
+        let r = Weight::new(10.0);
+        let full = trace(&mut heap_eng, &g, &[NodeId(0)], r);
+        for budget in 0..full.len() as u64 {
+            let guard = RunGuard::new().with_settled_budget(budget);
+            let mut part = Vec::new();
+            let err = bucket_eng
+                .run_guarded(&g, Direction::Forward, [NodeId(0)], r, &guard, |s| {
+                    part.push(s)
+                })
+                .unwrap_err();
+            assert_eq!(err, InterruptReason::SettledBudgetExhausted);
+            assert_eq!(part, full[..budget as usize]);
+        }
+    }
+
+    #[test]
+    fn auto_kernel_matches_heap_on_truncated_and_open_sweeps() {
+        let g = graph_from_edges(5, &[(0, 1, 1.5), (1, 2, 0.5), (2, 3, 2.0), (0, 4, 0.0)]);
+        let mut auto_eng = DijkstraEngine::new(5);
+        let mut heap_eng = DijkstraEngine::with_kernel(5, Kernel::Heap);
+        for radius in [Weight::new(2.0), Weight::INFINITY] {
+            assert_eq!(
+                trace(&mut auto_eng, &g, &[NodeId(0)], radius),
+                trace(&mut heap_eng, &g, &[NodeId(0)], radius),
+            );
+        }
+        assert_eq!(auto_eng.kernel(), Kernel::Auto);
+    }
+
+    #[test]
+    fn kernel_can_be_switched_between_sweeps() {
+        let g = line();
+        let mut eng = DijkstraEngine::with_kernel(4, Kernel::Heap);
+        let a = trace(&mut eng, &g, &[NodeId(0)], Weight::new(7.0));
+        eng.set_kernel(Kernel::Bucket);
+        assert_eq!(eng.kernel(), Kernel::Bucket);
+        let b = trace(&mut eng, &g, &[NodeId(0)], Weight::new(7.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_sweep_matches_per_dimension_sweeps() {
+        let g = graph_from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 1.0),
+                (3, 0, 0.5),
+                (4, 2, 1.5),
+                (2, 5, 1.0),
+            ],
+        );
+        let seeds = vec![
+            vec![NodeId(0)],
+            vec![NodeId(4), NodeId(3)],
+            vec![], // an empty dimension must stay empty
+        ];
+        for kernel in Kernel::ALL {
+            let mut eng = DijkstraEngine::with_kernel(6, kernel);
+            let radius = Weight::new(4.0);
+            // Reference: one standalone sweep per dimension.
+            let per_dim: Vec<Vec<Settled>> = seeds
+                .iter()
+                .map(|dim_seeds| {
+                    let mut out = Vec::new();
+                    eng.run(
+                        &g,
+                        Direction::Forward,
+                        dim_seeds.iter().copied(),
+                        radius,
+                        |s| out.push(s),
+                    );
+                    out
+                })
+                .collect();
+            let mut batched: Vec<Vec<Settled>> = vec![Vec::new(); seeds.len()];
+            let total = eng
+                .run_batched_guarded(
+                    &g,
+                    Direction::Forward,
+                    &seeds,
+                    radius,
+                    &RunGuard::unlimited(),
+                    |dim, s| batched[dim].push(s),
+                )
+                .unwrap();
+            assert_eq!(batched, per_dim, "kernel {kernel} diverged");
+            assert_eq!(total, per_dim.iter().map(Vec::len).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn batched_sweep_guard_counts_fused_settles() {
+        let g = line();
+        let seeds = vec![vec![NodeId(0)], vec![NodeId(2)]];
+        let mut eng = DijkstraEngine::new(4);
+        let guard = RunGuard::new().with_settled_budget(3);
+        let mut seen = 0usize;
+        let err = eng
+            .run_batched_guarded(
+                &g,
+                Direction::Forward,
+                &seeds,
+                Weight::new(10.0),
+                &guard,
+                |_, _| seen += 1,
+            )
+            .unwrap_err();
+        assert_eq!(err, InterruptReason::SettledBudgetExhausted);
+        assert_eq!(seen, 3);
+        // The engine recovers for ordinary sweeps afterwards.
+        let d = eng.distances(&g, Direction::Forward, NodeId(0));
+        assert_eq!(d[3], Weight::new(7.0));
+    }
+
+    #[test]
+    fn trim_scratch_shrinks_and_keeps_answers() {
+        let g = line();
+        let mut eng = DijkstraEngine::new(4);
+        let before = eng.distances(&g, Direction::Forward, NodeId(0));
+        eng.ensure_capacity(100_000);
+        assert_eq!(eng.capacity(), 100_000);
+        let grown = eng.scratch_bytes();
+        eng.trim_scratch(16);
+        assert_eq!(eng.capacity(), 16);
+        assert!(eng.scratch_bytes() < grown);
+        assert_eq!(eng.distances(&g, Direction::Forward, NodeId(0)), before);
+    }
+
+    #[test]
+    fn trim_scratch_after_interrupted_sweep_is_safe() {
+        // An interrupted sweep leaves a populated touched list; trimming
+        // below the touched indices must reset before truncating.
+        let g = graph_from_edges(50, &(0..49).map(|i| (i, i + 1, 1.0)).collect::<Vec<_>>());
+        let mut eng = DijkstraEngine::new(50);
+        let guard = RunGuard::new().with_settled_budget(5);
+        let _ = eng.run_guarded(
+            &g,
+            Direction::Forward,
+            [NodeId(0)],
+            Weight::INFINITY,
+            &guard,
+            |_| {},
+        );
+        eng.trim_scratch(8);
+        assert_eq!(eng.capacity(), 8);
+        let small = graph_from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let d = eng.distances(&small, Direction::Forward, NodeId(0));
+        assert_eq!(d[2], Weight::new(2.0));
+    }
+
+    #[test]
+    fn ensure_capacity_reports_growth() {
+        let mut eng = DijkstraEngine::new(4);
+        assert!(!eng.ensure_capacity(2));
+        assert!(eng.ensure_capacity(8));
+        assert!(!eng.ensure_capacity(8));
     }
 }

@@ -35,12 +35,14 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bucket;
 pub mod container;
 mod csr;
 mod dijkstra;
 mod dijkstra_fib;
 pub mod guard;
 pub mod io;
+pub mod kernel;
 pub mod parallel;
 pub mod pool;
 pub mod reference;
@@ -53,7 +55,8 @@ pub use csr::{graph_from_edges, Direction, Graph, GraphBuilder, InducedGraph, No
 pub use dijkstra::{shortest_distances, DijkstraEngine, Settled};
 pub use dijkstra_fib::FibDijkstraEngine;
 pub use guard::{InterruptReason, Outcome, RunGuard};
+pub use kernel::{Kernel, UnknownKernel};
 pub use parallel::Parallelism;
-pub use pool::{EnginePool, PooledEngine};
+pub use pool::{EnginePool, PooledEngine, KERNEL_ENV};
 pub use verify::GraphInvariantError;
 pub use weight::Weight;

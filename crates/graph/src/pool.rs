@@ -6,12 +6,25 @@
 //! allocate per call. [`EnginePool`] removes both costs: engines are parked
 //! in size-class buckets keyed by graph size, [`acquire`](EnginePool::acquire)
 //! pops one (or builds it on first use), and the [`PooledEngine`] guard
-//! returns it on drop. Engines are epoch-stamped, so a recycled engine
-//! never observes stale state from a previous sweep.
+//! returns it on drop. Engines reset their touched scratch at the start of
+//! every sweep, so a recycled engine never observes stale state from a
+//! previous one.
+//!
+//! The pool also carries the process-wide default [`Kernel`]: every
+//! acquired engine is stamped with it, so `NeighborSets`, `get_community`,
+//! projection builds, the serve engine, and the baselines all switch
+//! queue kernels through one [`set_kernel`](EnginePool::set_kernel) call
+//! (or the `COMM_KERNEL` environment variable for the global pool) with
+//! no call-site changes.
 
 use crate::dijkstra::DijkstraEngine;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::kernel::Kernel;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Environment variable naming the global pool's queue kernel
+/// (`heap` / `bucket` / `auto`); unset or unparsable means `auto`.
+pub const KERNEL_ENV: &str = "COMM_KERNEL";
 
 /// Engines parked per size class beyond this count are dropped instead of
 /// pooled, bounding the pool's memory to `CLASSES × PER_CLASS_CAP` engines.
@@ -52,23 +65,48 @@ fn class_capacity(c: usize) -> usize {
 /// ```
 pub struct EnginePool {
     classes: Box<[Mutex<Vec<DijkstraEngine>>]>,
+    /// The queue kernel stamped onto every acquired engine
+    /// ([`Kernel`] via its `u8` encoding).
+    kernel: AtomicU8,
     /// Engines created because the class bucket was empty (telemetry).
     misses: AtomicUsize,
     /// Successful bucket pops (telemetry).
     hits: AtomicUsize,
     /// Shards recovered after a panicking thread poisoned their mutex.
     poison_recoveries: AtomicUsize,
+    /// Engines whose scratch was trimmed back to class capacity on
+    /// release after an outsized sweep (telemetry).
+    trims: AtomicUsize,
 }
 
 impl EnginePool {
-    /// Creates an empty pool.
+    /// Creates an empty pool with the default [`Kernel::Auto`] selection.
     pub fn new() -> EnginePool {
+        EnginePool::with_kernel(Kernel::Auto)
+    }
+
+    /// Creates an empty pool whose engines run on `kernel`.
+    pub fn with_kernel(kernel: Kernel) -> EnginePool {
         EnginePool {
             classes: (0..CLASSES).map(|_| Mutex::new(Vec::new())).collect(),
+            kernel: AtomicU8::new(kernel.to_u8()),
             misses: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
             poison_recoveries: AtomicUsize::new(0),
+            trims: AtomicUsize::new(0),
         }
+    }
+
+    /// The queue kernel engines from this pool currently run on.
+    pub fn kernel(&self) -> Kernel {
+        Kernel::from_u8(self.kernel.load(Ordering::Relaxed))
+    }
+
+    /// Switches the queue kernel for every engine acquired from now on.
+    /// Results are bit-identical across kernels, so this is safe to flip
+    /// at any time, including between the sweeps of one query.
+    pub fn set_kernel(&self, kernel: Kernel) {
+        self.kernel.store(kernel.to_u8(), Ordering::Relaxed);
     }
 
     /// Locks one size-class shard, recovering it if a panicking thread
@@ -93,10 +131,19 @@ impl EnginePool {
     }
 
     /// The process-wide shared pool. One-shot helpers and parallel sweeps
-    /// without an explicit pool borrow from here.
+    /// without an explicit pool borrow from here. Its initial kernel comes
+    /// from the `COMM_KERNEL` environment variable (CI's kernel lane runs
+    /// the whole suite under each value); [`set_kernel`](Self::set_kernel)
+    /// can still override it later.
     pub fn global() -> &'static EnginePool {
         static GLOBAL: OnceLock<EnginePool> = OnceLock::new();
-        GLOBAL.get_or_init(EnginePool::new)
+        GLOBAL.get_or_init(|| {
+            let kernel = std::env::var(KERNEL_ENV)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_default();
+            EnginePool::with_kernel(kernel)
+        })
     }
 
     /// Borrows an engine sized for graphs of `n` nodes. The engine returns
@@ -104,7 +151,7 @@ impl EnginePool {
     pub fn acquire(&self, n: usize) -> PooledEngine<'_> {
         let class = size_class(n).min(CLASSES - 1);
         let engine = self.lock_shard(class).pop();
-        let engine = match engine {
+        let mut engine = match engine {
             Some(e) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 e
@@ -114,6 +161,7 @@ impl EnginePool {
                 DijkstraEngine::new(class_capacity(class).max(n))
             }
         };
+        engine.set_kernel(self.kernel());
         PooledEngine {
             pool: self,
             class,
@@ -141,6 +189,25 @@ impl EnginePool {
         self.poison_recoveries.load(Ordering::Relaxed)
     }
 
+    /// How many released engines had their scratch trimmed back to class
+    /// capacity after growing beyond it in an outsized sweep.
+    pub fn trims(&self) -> usize {
+        self.trims.load(Ordering::Relaxed)
+    }
+
+    /// Resident scratch bytes currently parked across all size classes —
+    /// the quantity [`release`](Self::release)'s trimming bounds.
+    pub fn retained_bytes(&self) -> usize {
+        (0..CLASSES)
+            .map(|c| {
+                self.lock_shard(c)
+                    .iter()
+                    .map(DijkstraEngine::scratch_bytes)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
     /// Chaos-testing hook: poisons the shard serving graphs of `n` nodes
     /// by panicking on a scratch thread while it holds the shard lock.
     /// The next `acquire`/`release` touching the shard must recover it.
@@ -159,7 +226,16 @@ impl EnginePool {
         });
     }
 
-    fn release(&self, class: usize, engine: DijkstraEngine) {
+    fn release(&self, class: usize, mut engine: DijkstraEngine) {
+        // An engine can outgrow its size class mid-borrow (a batched
+        // multi-dimension sweep sizes scratch for `l·n` virtual nodes).
+        // Trim it back before parking so the pool retains at most
+        // `class_capacity` worth of scratch per engine forever, rather
+        // than pinning the worst sweep ever seen.
+        if engine.capacity() > class_capacity(class) {
+            engine.trim_scratch(class_capacity(class));
+            self.trims.fetch_add(1, Ordering::Relaxed);
+        }
         let mut bucket = self.lock_shard(class);
         if bucket.len() < PER_CLASS_CAP {
             bucket.push(engine);
@@ -208,6 +284,7 @@ impl Drop for PooledEngine<'_> {
 mod tests {
     use super::*;
     use crate::csr::{graph_from_edges, Direction, NodeId};
+    use crate::kernel::Kernel;
     use crate::weight::Weight;
 
     #[test]
@@ -309,6 +386,47 @@ mod tests {
             1,
             "a recovered shard must not keep counting recoveries"
         );
+    }
+
+    #[test]
+    fn acquired_engines_carry_the_pool_kernel() {
+        let pool = EnginePool::with_kernel(Kernel::Bucket);
+        assert_eq!(pool.kernel(), Kernel::Bucket);
+        assert_eq!(pool.acquire(8).kernel(), Kernel::Bucket);
+        pool.set_kernel(Kernel::Heap);
+        // A recycled engine is re-stamped on every acquire.
+        assert_eq!(pool.acquire(8).kernel(), Kernel::Heap);
+        assert_eq!(EnginePool::new().kernel(), Kernel::Auto);
+    }
+
+    #[test]
+    fn kernel_switch_keeps_results_identical() {
+        let g = graph_from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 4.0)]);
+        let pool = EnginePool::new();
+        let mut answers = Vec::new();
+        for k in [Kernel::Heap, Kernel::Bucket, Kernel::Auto] {
+            pool.set_kernel(k);
+            answers.push(pool.acquire(4).distances(&g, Direction::Forward, NodeId(0)));
+        }
+        assert_eq!(answers[0], answers[1]);
+        assert_eq!(answers[0], answers[2]);
+    }
+
+    #[test]
+    fn outsized_engines_are_trimmed_on_release() {
+        let pool = EnginePool::new();
+        {
+            let mut e = pool.acquire(100); // class 128
+            e.ensure_capacity(1_000_000); // outsized batched sweep
+        }
+        assert_eq!(pool.trims(), 1);
+        assert_eq!(pool.pooled_engines(), 1);
+        // The parked engine retains at most class capacity.
+        assert!(pool.retained_bytes() <= class_capacity(size_class(100)) * 64);
+        {
+            let _e = pool.acquire(100); // in-class reuse: no trim
+        }
+        assert_eq!(pool.trims(), 1);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use comm_graph::reference::all_pairs_shortest;
 use comm_graph::{
-    graph_from_edges, DijkstraEngine, Direction, FibDijkstraEngine, Graph, NodeId, Weight,
+    graph_from_edges, DijkstraEngine, Direction, FibDijkstraEngine, Graph, Kernel, NodeId, Weight,
 };
 use proptest::prelude::*;
 
@@ -61,6 +61,41 @@ proptest! {
             bin.run(&g, dir, sorted.iter().copied(), r, |s| a.push(s));
             let mut b = Vec::new();
             fib.run(&g, dir, sorted.iter().copied(), r, |s| b.push(s));
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    #[test]
+    fn bucket_kernel_equals_heap_kernel(
+        rg in random_graph(),
+        seed_count in 1usize..4,
+        radius in 0u32..30,
+        quarter in any::<bool>(),
+    ) {
+        // Optionally shrink every weight to a quarter so distances land
+        // off the integer grid and stress the bucket-boundary rounding.
+        let scale = if quarter { 0.25 } else { 1.0 };
+        let edges: Vec<(u32, u32, f64)> = rg
+            .edges
+            .iter()
+            .map(|&(u, v, w)| (u, v, f64::from(w) * scale))
+            .collect();
+        let g = graph_from_edges(rg.n, &edges);
+        let mut seeds: Vec<NodeId> = (0..seed_count.min(rg.n))
+            .map(|i| NodeId((i * 7 % rg.n) as u32))
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        let r = Weight::new(f64::from(radius) * scale);
+        let mut heap = DijkstraEngine::with_kernel(g.node_count(), Kernel::Heap);
+        let mut bucket = DijkstraEngine::with_kernel(g.node_count(), Kernel::Bucket);
+        for dir in [Direction::Forward, Direction::Reverse] {
+            let mut a = Vec::new();
+            heap.run(&g, dir, seeds.iter().copied(), r, |s| a.push(s));
+            let mut b = Vec::new();
+            bucket.run(&g, dir, seeds.iter().copied(), r, |s| b.push(s));
+            // The whole settle stream — node, dist, source, AND parent —
+            // must be bit-identical, not merely the distance table.
             prop_assert_eq!(&a, &b);
         }
     }

@@ -9,10 +9,10 @@ use comm_bench::{BatchQuery, BatchRunner};
 use communities::datasets::paper_example::{fig4_graph, fig4_keyword_nodes, FIG4_RMAX};
 use communities::datasets::workload::{query_keywords, DBLP_KEYWORD_GROUPS};
 use communities::datasets::{generate_dblp, DblpConfig};
-use communities::graph::{Graph, NodeId, Weight};
+use communities::graph::{Direction, Graph, Kernel, NodeId, Weight};
 use communities::search::{
     get_community_guarded, get_community_par_guarded, CommAll, CommK, Community, CostFn,
-    EnginePool, Parallelism, ProjectionIndex, QuerySpec, RunGuard,
+    EnginePool, NeighborSets, Parallelism, ProjectionIndex, QuerySpec, RunGuard,
 };
 
 const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
@@ -185,6 +185,118 @@ fn dblp_get_community_is_thread_count_invariant() {
                 "core {core:?} at {threads} threads"
             );
         }
+    }
+}
+
+/// Both Dijkstra kernels settle the paper example's keyword sweeps in the
+/// same order with the same distances, sources, and parents.
+#[test]
+fn paper_example_kernels_settle_identically() {
+    let g = fig4_graph();
+    let rmax = Weight::new(FIG4_RMAX);
+    for seeds in fig4_keyword_nodes() {
+        let collect = |kernel: Kernel| {
+            let mut e = communities::graph::DijkstraEngine::with_kernel(g.node_count(), kernel);
+            let mut out = Vec::new();
+            e.run(&g, Direction::Reverse, seeds.iter().copied(), rmax, |s| {
+                out.push((s.node, s.dist, s.source, s.parent));
+            });
+            out
+        };
+        let heap = collect(Kernel::Heap);
+        assert!(!heap.is_empty());
+        assert_eq!(heap, collect(Kernel::Bucket), "bucket kernel diverged");
+        assert_eq!(heap, collect(Kernel::Auto), "auto kernel diverged");
+    }
+}
+
+/// On the sampled DBLP workload the fused batched refill matches the
+/// fan-out path bit-for-bit under either kernel.
+#[test]
+fn dblp_batched_refill_is_kernel_invariant() {
+    let ds = small_dblp();
+    let g = &ds.graph.graph;
+    let spec = dblp_spec(&ds, 4);
+    let (l, n) = (spec.l(), g.node_count());
+    let pool = EnginePool::new();
+    let mut fanned = NeighborSets::new(l, n);
+    fanned.recompute_all(
+        g,
+        &pool,
+        &spec.keyword_nodes,
+        spec.rmax,
+        Parallelism::new(4),
+    );
+    for kernel in [Kernel::Heap, Kernel::Bucket] {
+        pool.set_kernel(kernel);
+        let mut batched = NeighborSets::new(l, n);
+        batched
+            .recompute_all_batched_guarded(
+                g,
+                &pool,
+                &spec.keyword_nodes,
+                spec.rmax,
+                &RunGuard::unlimited(),
+            )
+            .expect("unlimited guard never trips");
+        for u in (0..n as u32).map(NodeId) {
+            for i in 0..l {
+                assert_eq!(
+                    batched.dist(i, u),
+                    fanned.dist(i, u),
+                    "dim {i} node {u} ({kernel})"
+                );
+                assert_eq!(
+                    batched.src(i, u),
+                    fanned.src(i, u),
+                    "dim {i} node {u} ({kernel})"
+                );
+            }
+            assert_eq!(batched.sum(u), fanned.sum(u), "sum at {u} ({kernel})");
+            assert_eq!(batched.count(u), fanned.count(u), "count at {u} ({kernel})");
+        }
+    }
+}
+
+/// End-to-end enumeration — CommAll and CommK on the paper example and the
+/// sampled DBLP workload — is invariant under the process-wide kernel
+/// default. (The stamp is restored to `Auto`; the kernel is a pure
+/// performance knob, so concurrent tests observing a transient stamp still
+/// compute identical results.)
+#[test]
+fn enumeration_is_kernel_invariant() {
+    let paper = fig4_graph();
+    let paper_spec = QuerySpec::new(fig4_keyword_nodes(), Weight::new(FIG4_RMAX));
+    let ds = small_dblp();
+    let dblp = &ds.graph.graph;
+    let dspec = dblp_spec(&ds, 4);
+    let pool = EnginePool::global();
+    let mut runs = Vec::new();
+    for kernel in [Kernel::Heap, Kernel::Bucket, Kernel::Auto] {
+        pool.set_kernel(kernel);
+        runs.push((
+            all_at(&paper, &paper_spec, 1, usize::MAX)
+                .iter()
+                .map(sig)
+                .collect::<Vec<_>>(),
+            topk_at(&paper, &paper_spec, 1, 10)
+                .iter()
+                .map(sig)
+                .collect::<Vec<_>>(),
+            all_at(dblp, &dspec, 1, 60)
+                .iter()
+                .map(sig)
+                .collect::<Vec<_>>(),
+            topk_at(dblp, &dspec, 1, 40)
+                .iter()
+                .map(sig)
+                .collect::<Vec<_>>(),
+        ));
+    }
+    pool.set_kernel(Kernel::Auto);
+    assert!(!runs[0].0.is_empty() && !runs[0].2.is_empty());
+    for (i, run) in runs.iter().enumerate().skip(1) {
+        assert_eq!(run, &runs[0], "kernel {} diverged", Kernel::ALL[i]);
     }
 }
 
